@@ -1,0 +1,30 @@
+# Convenience targets for the MC3 reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-full examples lint clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments all
+
+experiments-full:
+	$(PYTHON) -m repro.experiments all --full
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

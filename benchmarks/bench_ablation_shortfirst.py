@@ -1,0 +1,31 @@
+"""Ablation: where Short-First pays off.
+
+Section 4 recommends Short-First for loads where nearly all queries are
+short (the paper's fashion slice is 96% short).  This bench sweeps the
+short-query share at fixed load size and reports Short-First vs MC3[G];
+the gap between the two must stay small at high shares (both are strong
+there) and Short-First must never be catastrophically worse.
+"""
+
+from conftest import run_once
+
+from repro.experiments import short_first_threshold
+
+
+def test_short_first_threshold(benchmark):
+    figure = run_once(
+        benchmark,
+        lambda: short_first_threshold(n=1000, seed=0, shares=(0.6, 0.8, 0.95)),
+    )
+    print()
+    print(figure.render())
+
+    sf = figure.series_by_name("Short-First").ys()
+    general = figure.series_by_name("MC3[G]").ys()
+    assert len(sf) == len(general) >= 2
+    # Short-First stays within 10% of MC3[G] across the sweep, and the
+    # relative gap shrinks (or stays flat) as the share of short queries
+    # grows toward the fashion regime.
+    ratios = [s / g for s, g in zip(sf, general)]
+    assert all(r <= 1.10 for r in ratios)
+    assert ratios[-1] <= ratios[0] + 0.02

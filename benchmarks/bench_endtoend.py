@@ -1,0 +1,28 @@
+"""End-to-end bench: classifier budget vs search recall.
+
+Not a paper figure — the paper measures construction cost only — but
+the curve quantifies the economics its introduction argues for: spend
+on covering classifiers → complete annotations → complete results.
+"""
+
+from conftest import run_once
+
+import pytest
+
+from repro.experiments import budget_recall_curve
+
+
+def test_budget_recall_curve(benchmark):
+    figure = run_once(
+        benchmark,
+        lambda: budget_recall_curve(
+            n=300, budget_fractions=(0.0, 0.25, 0.5, 0.75, 1.0), seed=0
+        ),
+    )
+    print()
+    print(figure.render())
+
+    recall = figure.series_by_name("mean search recall").ys()
+    assert recall == sorted(recall)  # more budget never hurts
+    assert recall[-1] == pytest.approx(1.0)
+    assert recall[0] < 0.5  # the annotation gap is real before planning

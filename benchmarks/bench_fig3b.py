@@ -1,0 +1,30 @@
+"""Figure 3b: P dataset restricted to short queries (~80% of the load),
+construction cost vs #queries, with varying classifier costs.
+
+Paper shape: MC3[S] is optimal and beats both the Query-Oriented and
+Property-Oriented baselines by a wide margin (~30% in the paper).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure_3b
+
+
+def test_fig3b(benchmark, bench_sizes):
+    n = bench_sizes["p_short_n"]
+    figure = run_once(
+        benchmark, lambda: figure_3b(n=n, seed=bench_sizes["seed"])
+    )
+    print()
+    print(figure.render())
+
+    mc3 = figure.series_by_name("MC3[S]").ys()
+    qo = figure.series_by_name("Query-Oriented").ys()
+    po = figure.series_by_name("Property-Oriented").ys()
+
+    assert all(m <= q for m, q in zip(mc3, qo))
+    assert all(m <= p for m, p in zip(mc3, po))
+    # At the full load MC3[S] is at least 10% below the better baseline
+    # (paper: ~30%; our generated stand-in lands at ~15-25%).
+    best_baseline = min(qo[-1], po[-1])
+    assert mc3[-1] <= 0.9 * best_baseline

@@ -1,0 +1,39 @@
+"""Figure 3d: P dataset, general case — construction cost of the five
+algorithms, with the 1000-query point replaced by the fashion slice.
+
+Paper shape: MC3[G] best overall (~12% below its closest competitor in
+the paper); Short-First competitive everywhere and essentially tied with
+MC3[G] on the 96%-short fashion slice; Local-Greedy and the naive
+baselines clearly worse.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure_3d
+
+
+def test_fig3d(benchmark, bench_sizes):
+    n = bench_sizes["p_n"]
+    figure = run_once(
+        benchmark,
+        lambda: figure_3d(
+            n=n, sizes=[n // 2, n], seed=bench_sizes["seed"], fashion_point=True
+        ),
+    )
+    print()
+    print(figure.render())
+
+    general = figure.series_by_name("MC3[G]").ys()
+    short_first = figure.series_by_name("Short-First").ys()
+    local_greedy = figure.series_by_name("Local-Greedy").ys()
+    qo = figure.series_by_name("Query-Oriented").ys()
+    po = figure.series_by_name("Property-Oriented").ys()
+
+    # MC3[G] wins or ties (2% tolerance for the tiny fashion point)
+    # against every competitor, everywhere.
+    for other in (short_first, local_greedy, qo, po):
+        assert all(g <= 1.02 * o for g, o in zip(general, other))
+    # At the full load the naive baselines are strictly dominated.
+    assert general[-1] < qo[-1]
+    assert general[-1] < po[-1]
+    assert general[-1] < local_greedy[-1]

@@ -1,0 +1,29 @@
+"""Figure 3f: synthetic, general case — preprocessing effect on runtime.
+
+Paper shape: preprocessing halves Algorithm 3's runtime at n = 100,000.
+Reproduction note (EXPERIMENTS.md): our greedy/primal–dual stages are
+fast relative to the Python-level preprocessing pass at these scales, so
+the bench reports both runtimes and asserts only sanity (positive,
+same-cost-direction) properties; the quality effect is asserted in
+bench_fig3e.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure_3f
+
+
+def test_fig3f(benchmark, bench_sizes):
+    n = bench_sizes["synth_general_n"]
+    figure = run_once(
+        benchmark, lambda: figure_3f(sizes=[n // 2, n], seed=bench_sizes["seed"])
+    )
+    print()
+    print(figure.render())
+
+    with_prep = figure.series_by_name("MC3[G] + preprocessing").ys()
+    without = figure.series_by_name("MC3[G] w/o preprocessing").ys()
+    assert all(t > 0 for t in with_prep + without)
+    # Runtime grows with the load in both configurations.
+    assert with_prep[-1] >= with_prep[0] * 0.5
+    assert without[-1] >= without[0] * 0.5

@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the individual solver kernels at fixed size —
+useful for tracking performance regressions of the substrates
+themselves (these are the repeated-measurement benches; the figure
+benches run single-shot)."""
+
+import pytest
+
+from repro.datasets import private_like_short, synthetic, synthetic_k2
+from repro.preprocess import preprocess
+from repro.reductions import mc3_to_wsc
+from repro.setcover import greedy_wsc, primal_dual_wsc
+from repro.solvers import make_solver
+
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def k2_instance():
+    return synthetic_k2(3000, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def general_instance():
+    return synthetic(1500, seed=SEED, max_classifier_length=3)
+
+
+@pytest.fixture(scope="module")
+def short_instance():
+    return private_like_short(1500, seed=SEED)
+
+
+def test_bench_preprocess_k2(benchmark, k2_instance):
+    result = benchmark(lambda: preprocess(k2_instance))
+    assert result.report.elapsed_seconds >= 0
+
+
+def test_bench_k2_solver(benchmark, short_instance):
+    result = benchmark(lambda: make_solver("mc3-k2").solve(short_instance))
+    assert result.cost > 0
+
+
+def test_bench_wsc_reduction(benchmark, general_instance):
+    prep = preprocess(general_instance)
+    components = prep.components
+    assert components
+
+    def run():
+        return [mc3_to_wsc(component) for component in components]
+
+    instances = benchmark(run)
+    assert all(w.num_sets > 0 for w in instances)
+
+
+def test_bench_greedy_wsc(benchmark, general_instance):
+    prep = preprocess(general_instance)
+    wsc_instances = [mc3_to_wsc(component) for component in prep.components]
+
+    def run():
+        return sum(greedy_wsc(w).cost for w in wsc_instances)
+
+    assert benchmark(run) >= 0
+
+
+def test_bench_primal_dual_wsc(benchmark, general_instance):
+    prep = preprocess(general_instance)
+    wsc_instances = [mc3_to_wsc(component) for component in prep.components]
+
+    def run():
+        return sum(primal_dual_wsc(w).cost for w in wsc_instances)
+
+    assert benchmark(run) >= 0

@@ -1,0 +1,38 @@
+"""Table 1: dataset summary (Section 6.1).
+
+Regenerates the table at a scaled-down size and checks the published
+invariants: BB has uniform unit costs and short queries; P has costs in
+[1, 63] and lengths up to 6; S has costs in [1, 50] and lengths up to 10.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table_1
+
+
+def test_table1(benchmark, bench_sizes):
+    table = run_once(
+        benchmark,
+        lambda: table_1(
+            bb_n=bench_sizes["bb_n"],
+            p_n=bench_sizes["p_n"],
+            s_n=4000,
+            seed=bench_sizes["seed"],
+            cost_sample=200,
+        ),
+    )
+    print()
+    print(table.render())
+
+    bb, p, s = table.rows
+    assert bb[1] == bench_sizes["bb_n"]
+    assert bb[2] == 1.0  # uniform costs
+    assert bb[3] <= 4
+
+    assert p[1] == bench_sizes["p_n"]
+    assert 1 <= p[2] <= 63
+    assert p[3] <= 6
+
+    assert s[1] == 4000
+    assert 1 <= s[2] <= 50
+    assert s[3] <= 10

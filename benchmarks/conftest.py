@@ -1,0 +1,45 @@
+"""Shared setup for the benchmark suite.
+
+Every figure/table of the paper's evaluation (Section 6) has a bench
+module that (a) regenerates the panel at a laptop-scale size, (b) prints
+the series (visible with ``pytest -s``), and (c) asserts the *shape*
+the paper reports — who wins and roughly by how much.  Absolute numbers
+are not comparable (the paper used a 32-core server; see EXPERIMENTS.md
+for the recorded scale and deviations).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Scale factors shared by the bench modules, chosen so the whole suite
+#: finishes in a few minutes on one core.
+BB_N = 600
+P_N = 1500
+P_SHORT_N = 2000
+SYNTH_K2_N = 4000
+SYNTH_GENERAL_N = 1500
+SEED = 0
+
+
+@pytest.fixture(scope="session")
+def bench_sizes():
+    return {
+        "bb_n": BB_N,
+        "p_n": P_N,
+        "p_short_n": P_SHORT_N,
+        "synth_k2_n": SYNTH_K2_N,
+        "synth_general_n": SYNTH_GENERAL_N,
+        "seed": SEED,
+    }
+
+
+def run_once(benchmark, fn):
+    """Benchmark a slow, deterministic computation with a single round
+    (figure regenerations take seconds; statistical repetition belongs to
+    the kernel-level ablation benches)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

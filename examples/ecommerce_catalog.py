@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""End-to-end e-commerce scenario: incomplete catalog → classifier plan
+→ offline completion → complete search results.
+
+This is the workflow the paper's introduction motivates (the 'Shirts'
+relation of Figure 1): sellers upload items with partial structured
+attributes; search queries silently miss qualifying items; the company
+plans the cheapest classifier set covering its query load, trains it,
+completes the catalog offline, and search recall jumps to 1.0.
+
+Run:  python examples/ecommerce_catalog.py
+"""
+
+import random
+
+from repro.catalog import Catalog, ClassifierPlanner, Item, SearchEngine
+from repro.core import query
+from repro.datasets import SubAdditiveHashCost
+
+BRANDS = ["adidas", "nike", "umbro", "puma"]
+TEAMS = ["juventus", "chelsea", "arsenal", "cska"]
+COLORS = ["white", "red", "blue"]
+
+
+def build_catalog(num_items: int = 300, seed: int = 7) -> Catalog:
+    """Soccer shirts with latent truth and ~40% observed attributes
+    (sellers fill in only some structured fields, as in Figure 1)."""
+    rng = random.Random(seed)
+    catalog = Catalog()
+    for index in range(num_items):
+        brand = rng.choice(BRANDS)
+        team = rng.choice(TEAMS)
+        color = rng.choice(COLORS)
+        latent = {brand, team, color, "shirt"}
+        observed = {"shirt"}  # the product type is always structured
+        for prop in (brand, team, color):
+            if rng.random() < 0.4:
+                observed.add(prop)
+        catalog.add(
+            Item(
+                item_id=f"sku{index:04d}",
+                title=f"{team.title()} {color} shirt ({brand})",
+                latent=latent,
+                observed=observed,
+            )
+        )
+    return catalog
+
+
+def main() -> None:
+    catalog = build_catalog()
+    print(f"catalog: {len(catalog)} items, "
+          f"{catalog.observed_completeness():.0%} of attributes observed")
+
+    # The query load: what users actually search for.
+    query_log = [
+        query("juventus white adidas"),
+        query("chelsea adidas"),
+        query("arsenal red"),
+        query("cska umbro"),
+        query("nike white"),
+        query("puma blue chelsea"),
+    ]
+
+    # Training costs: property-level base difficulties with sub-additive
+    # conjunctions (specific conjunctions have few variants, so they are
+    # cheaper to label to the same precision).
+    bases = {prop: 5 for prop in BRANDS}
+    bases.update({prop: 6 for prop in TEAMS})
+    bases.update({prop: 2 for prop in COLORS})
+    bases["shirt"] = 1
+    cost_model = SubAdditiveHashCost(bases, low=1, high=20, seed=7)
+
+    planner = ClassifierPlanner(catalog, cost_model, solver_name="mc3-general")
+    outcome = planner.plan_and_apply(query_log)
+
+    print()
+    print("planned classifiers:")
+    for clf in sorted(outcome.suite, key=lambda c: c.label):
+        print(f"  {clf.label:<28} cost {clf.training_cost:g}")
+    print()
+    print(outcome.summary())
+    print()
+
+    # Show a concrete query before/after (the engine re-runs live).
+    engine = SearchEngine(catalog)
+    q = query("juventus white adidas")
+    truth = {item.item_id for item in catalog.items_with_latent(q)}
+    found = set(engine.search(q))
+    print(f"'white adidas juventus shirt': {len(found)} of {len(truth)} "
+          f"true matches retrieved after completion")
+    assert outcome.after.mean_recall == 1.0, "covering classifiers give full recall"
+    print("mean recall across the query load: 1.000 — every covered query "
+          "now returns complete results.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Short-query workloads: the exact k = 2 solver and the Short-First
+strategy on a fashion-like load (96% of queries have ≤ 2 properties).
+
+Demonstrates Section 4: queries of length ≤ 2 are solvable *optimally*
+in polynomial time via the bipartite vertex-cover / max-flow reduction,
+and on almost-short loads the best strategy solves the short part
+exactly first (Short-First), then covers the long residue.
+
+Run:  python examples/fashion_short_queries.py
+"""
+
+from repro import make_solver
+from repro.datasets import private_like_category
+from repro.core import InstanceStats
+
+
+def main() -> None:
+    instance = private_like_category("fashion", n=1000, seed=3)
+    stats = InstanceStats(instance)
+    print(f"fashion load: {stats.n} queries, {stats.short_fraction:.0%} of "
+          f"length <= 2, max length {stats.max_query_length}")
+    print()
+
+    # The short slice alone: solved exactly by Algorithm 2, with all four
+    # max-flow kernels agreeing (they compute the same optimum).
+    short = instance.restricted_to(lambda q: len(q) <= 2, name="fashion-short")
+    print(f"short slice ({short.n} queries), exact optimum per flow kernel:")
+    for kernel in ["dinic", "edmonds_karp", "push_relabel", "capacity_scaling"]:
+        result = make_solver("mc3-k2", flow_algorithm=kernel).solve(short)
+        print(f"  {kernel:<18} cost {result.cost:>8g}   "
+              f"({result.elapsed_seconds*1000:.0f} ms)")
+    print()
+
+    # The full load: Short-First vs the general solver vs baselines.
+    print("full load (including the 4% long queries):")
+    for name in ["short-first", "mc3-general", "local-greedy",
+                 "query-oriented", "property-oriented"]:
+        result = make_solver(name).solve(instance)
+        print(f"  {name:<18} cost {result.cost:>8g}")
+    print()
+
+    sf = make_solver("short-first").solve(instance)
+    print(f"Short-First covered {sf.details['short_queries']} short queries "
+          f"optimally (cost {sf.details['short_cost']:g}) and the "
+          f"{sf.details['long_queries']} long ones incrementally "
+          f"(cost {sf.details['long_incremental_cost']:g}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Thin setup shim.
+
+All metadata lives in pyproject.toml; this file exists so the package
+installs in fully offline environments where pip's PEP 660 editable
+path is unavailable (no `wheel` package):
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""repro — reproduction of "Minimization of Classifier Construction Cost
+for Search Queries" (Gershtein, Milo, Morami, Novgorodov; SIGMOD 2020).
+
+The package implements the MC³ problem end to end:
+
+* :mod:`repro.core` — queries, classifiers, cost models, instances,
+  coverage semantics;
+* :mod:`repro.preprocess` — the four-step pruning pipeline (Algorithm 1);
+* :mod:`repro.flow`, :mod:`repro.matching`, :mod:`repro.setcover`,
+  :mod:`repro.graph` — the algorithmic substrates built from scratch;
+* :mod:`repro.reductions` — MC³ ↔ WVC / max-flow / WSC reductions;
+* :mod:`repro.solvers` — Algorithm 2 (exact, k ≤ 2), Algorithm 3
+  (general), Short-First, baselines, exact oracle;
+* :mod:`repro.extensions` — bounded and multi-valued classifiers;
+* :mod:`repro.datasets` — the three evaluation datasets (generated);
+* :mod:`repro.catalog` — the motivating e-commerce application;
+* :mod:`repro.experiments` — the harness regenerating every table and
+  figure of Section 6.
+
+Quickstart::
+
+    from repro import MC3Instance, make_solver
+
+    instance = MC3Instance(
+        queries=["juventus white adidas", "chelsea adidas"],
+        cost={
+            "chelsea": 5, "adidas": 5, "juventus": 5, "white": 1,
+            ("adidas", "chelsea"): 3, ("adidas", "white"): 5,
+            ("adidas", "juventus"): 3, ("juventus", "white"): 4,
+            ("adidas", "juventus", "white"): 5,
+        },
+    )
+    result = make_solver("mc3-general").solve(instance)
+    print(result.cost, result.solution.sorted_labels())
+"""
+
+from repro.analysis import OptimalityReport, optimality_report
+from repro.core import (
+    CostModel,
+    HashCost,
+    MC3Instance,
+    Solution,
+    SolverResult,
+    TableCost,
+    UniformCost,
+    load_instance,
+    query,
+    save_instance,
+)
+from repro.exceptions import (
+    DatasetError,
+    InfeasibleSolutionError,
+    InvalidInstanceError,
+    ReductionError,
+    ReproError,
+    SolverError,
+    UncoverableQueryError,
+)
+from repro.preprocess import PreprocessResult, preprocess
+from repro.solvers import (
+    ExactSolver,
+    GeneralSolver,
+    K2Solver,
+    LocalGreedySolver,
+    MixedSolver,
+    PropertyOrientedSolver,
+    QueryOrientedSolver,
+    ShortFirstSolver,
+    available_solvers,
+    make_solver,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "DatasetError",
+    "ExactSolver",
+    "GeneralSolver",
+    "HashCost",
+    "InfeasibleSolutionError",
+    "InvalidInstanceError",
+    "K2Solver",
+    "LocalGreedySolver",
+    "MC3Instance",
+    "MixedSolver",
+    "OptimalityReport",
+    "PreprocessResult",
+    "PropertyOrientedSolver",
+    "QueryOrientedSolver",
+    "ReductionError",
+    "ReproError",
+    "ShortFirstSolver",
+    "Solution",
+    "SolverError",
+    "SolverResult",
+    "TableCost",
+    "UniformCost",
+    "UncoverableQueryError",
+    "available_solvers",
+    "load_instance",
+    "make_solver",
+    "optimality_report",
+    "preprocess",
+    "query",
+    "save_instance",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""The motivating application substrate: a product catalog with latent
+properties, simulated classifier training/inference, offline attribute
+completion, conjunctive search, and the end-to-end planner."""
+
+from repro.catalog.classifiers import ClassifierSuite, TrainedClassifier
+from repro.catalog.items import Catalog, Item
+from repro.catalog.parser import ParseReport, QueryParser
+from repro.catalog.planner import ClassifierPlanner, PlanOutcome
+from repro.catalog.search import SearchEngine, SearchQualityReport
+from repro.catalog.simulate import catalog_for_load
+
+__all__ = [
+    "Catalog",
+    "ClassifierPlanner",
+    "ClassifierSuite",
+    "Item",
+    "ParseReport",
+    "PlanOutcome",
+    "QueryParser",
+    "SearchEngine",
+    "SearchQualityReport",
+    "TrainedClassifier",
+    "catalog_for_load",
+]

@@ -1,0 +1,265 @@
+"""The ``mc3`` command-line tool.
+
+Subcommands::
+
+    mc3 solve INSTANCE.json [--solver mc3-general] [--output SOLUTION.json]
+    mc3 generate DATASET [--n N] [--seed S] --output INSTANCE.json
+    mc3 stats INSTANCE.json
+    mc3 solvers
+    mc3 datasets
+
+Experiments live under ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.io import load_instance, materialize_cost, save_instance, save_solution
+from repro.core.stats import InstanceStats
+from repro.datasets import available_datasets, make_dataset
+from repro.exceptions import ReproError
+from repro.solvers import available_solvers, make_solver
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    solver = make_solver(args.solver)
+    result = solver.solve(instance)
+    print(f"solver   : {result.solver_name}")
+    print(f"cost     : {result.cost:g}")
+    print(f"selected : {len(result.solution)} classifiers")
+    print(f"time     : {result.elapsed_seconds:.3f}s")
+    if args.verbose:
+        for label in result.solution.sorted_labels():
+            print(f"  {label}")
+    if args.report_gap:
+        from repro.analysis import optimality_report
+
+        print(optimality_report(instance, result.solution).describe())
+    if args.output:
+        save_solution(result.solution, args.output)
+        print(f"solution written to {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    kwargs = {"seed": args.seed}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    instance = make_dataset(args.dataset, **kwargs)
+    # Lazy cost models are materialised into an explicit table first (the
+    # paper's literal input representation); instances whose candidate
+    # universe is too large to materialise must be regenerated from
+    # (dataset, n, seed) instead.
+    try:
+        concrete = materialize_cost(instance, max_entries=args.max_entries)
+        save_instance(concrete, args.output)
+    except ReproError:
+        print(
+            f"{args.dataset} is too large to materialise; regenerate with "
+            f"make_dataset({args.dataset!r}, n={instance.n}, seed={args.seed})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{instance.n} queries written to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    print(InstanceStats(instance).describe())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """End-to-end planning from a raw query log + cost table.
+
+    Duplicate lines in the log are treated as popularity: with a budget
+    they become query weights for the partial-cover planner; without a
+    budget the full load is covered by the chosen solver.
+    """
+    from collections import Counter
+
+    from repro.core.instance import MC3Instance
+    from repro.datasets import load_cost_table_csv, load_query_log
+
+    raw = load_query_log(args.queries)
+    frequencies = Counter(raw)
+    cost = load_cost_table_csv(args.costs)
+    instance = MC3Instance(frequencies.keys(), cost, name=str(args.queries))
+
+    if args.budget is not None:
+        from repro.extensions import greedy_partial_cover
+
+        weights = {q: float(count) for q, count in frequencies.items()}
+        plan = greedy_partial_cover(instance, weights, budget=args.budget)
+        total_weight = sum(weights.values())
+        print(f"budget        : {args.budget:g}")
+        print(f"spent         : {plan.cost:g}")
+        print(f"covered       : {len(plan.covered_queries)}/{instance.n} queries "
+              f"({plan.covered_weight / total_weight:.1%} of traffic)")
+        selected = plan.classifiers
+    else:
+        solver = make_solver(args.solver)
+        result = solver.solve(instance)
+        print(f"solver        : {result.solver_name}")
+        print(f"cost          : {result.cost:g}")
+        print(f"covered       : {instance.n}/{instance.n} queries")
+        selected = result.solution.classifiers
+
+    print(f"classifiers   : {len(selected)}")
+    if args.verbose:
+        from repro.core.properties import canonical_label
+
+        for label in sorted(canonical_label(clf) for clf in selected):
+            print(f"  {label}")
+    if args.output:
+        from repro.core.solution import Solution
+
+        solution = Solution.from_instance(selected, instance)
+        save_solution(solution, args.output)
+        print(f"plan written to {args.output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    kwargs = {"seed": args.seed}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    instance = make_dataset(args.dataset, **kwargs)
+    print(InstanceStats(instance, sample_costs=args.cost_sample).describe())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Check a solution file against an instance file: feasibility and
+    price.  Exit code 0 = valid."""
+    from repro.core.io import load_solution
+    from repro.exceptions import InfeasibleSolutionError
+
+    instance = load_instance(args.instance)
+    solution = load_solution(args.solution)
+    try:
+        solution.verify(instance)
+    except InfeasibleSolutionError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"valid: {len(solution)} classifiers cover all {instance.n} queries "
+          f"at cost {solution.cost:g}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Run several solvers on one instance and print a comparison table."""
+    from repro.exceptions import ReproError as _ReproError
+    from repro.experiments.report import render_table
+
+    instance = load_instance(args.instance)
+    names = args.solvers or ["mc3-general", "local-greedy", "query-oriented",
+                             "property-oriented"]
+    rows = []
+    for name in names:
+        try:
+            result = make_solver(name).solve(instance)
+        except _ReproError as exc:
+            rows.append([name, "-", "-", f"({type(exc).__name__})"])
+            continue
+        rows.append(
+            [name, result.cost, len(result.solution), f"{result.elapsed_seconds:.3f}s"]
+        )
+    print(render_table(["solver", "cost", "classifiers", "time"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="mc3", description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve an instance JSON file")
+    solve.add_argument("instance")
+    solve.add_argument("--solver", default="mc3-general", choices=available_solvers())
+    solve.add_argument("--output", help="write the solution JSON here")
+    solve.add_argument("--verbose", action="store_true", help="list selected classifiers")
+    solve.add_argument(
+        "--report-gap",
+        dest="report_gap",
+        action="store_true",
+        help="print an optimality certificate (LP lower bound + proven ratio)",
+    )
+    solve.set_defaults(fn=_cmd_solve)
+
+    generate = sub.add_parser("generate", help="generate a dataset instance")
+    generate.add_argument("dataset", choices=available_datasets())
+    generate.add_argument("--n", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True)
+    generate.add_argument(
+        "--max-entries",
+        dest="max_entries",
+        type=int,
+        default=1_000_000,
+        help="cap on materialised cost-table entries (default 1e6)",
+    )
+    generate.set_defaults(fn=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="describe an instance JSON file")
+    stats.add_argument("instance")
+    stats.set_defaults(fn=_cmd_stats)
+
+    analyze = sub.add_parser(
+        "analyze", help="characterise a generated dataset (Section 6.1 style)"
+    )
+    analyze.add_argument("dataset", choices=available_datasets())
+    analyze.add_argument("--n", type=int, default=None)
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument(
+        "--cost-sample", dest="cost_sample", type=int, default=500,
+        help="queries sampled for the cost-range scan (default 500)",
+    )
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    plan = sub.add_parser(
+        "plan", help="plan classifiers from a raw query log + cost CSV"
+    )
+    plan.add_argument("queries", help="query log: one query per line")
+    plan.add_argument("costs", help="cost table CSV: classifier,cost")
+    plan.add_argument("--solver", default="mc3-general", choices=available_solvers())
+    plan.add_argument(
+        "--budget", type=float, default=None,
+        help="optional budget: maximise covered traffic instead of covering all",
+    )
+    plan.add_argument("--output", help="write the selected classifiers as JSON")
+    plan.add_argument("--verbose", action="store_true")
+    plan.set_defaults(fn=_cmd_plan)
+
+    verify = sub.add_parser("verify", help="verify a solution against an instance")
+    verify.add_argument("instance")
+    verify.add_argument("solution")
+    verify.set_defaults(fn=_cmd_verify)
+
+    compare = sub.add_parser("compare", help="compare solvers on an instance file")
+    compare.add_argument("instance")
+    compare.add_argument(
+        "--solvers", nargs="*", choices=available_solvers(), default=None
+    )
+    compare.set_defaults(fn=_cmd_compare)
+
+    solvers = sub.add_parser("solvers", help="list registered solvers")
+    solvers.set_defaults(fn=lambda a: (print("\n".join(available_solvers())), 0)[1])
+
+    datasets = sub.add_parser("datasets", help="list registered datasets")
+    datasets.set_defaults(fn=lambda a: (print("\n".join(available_datasets())), 0)[1])
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""(De)serialisation of MC³ instances and solutions.
+
+The on-disk format is JSON:
+
+.. code-block:: json
+
+    {
+      "name": "example",
+      "queries": [["adidas", "juventus", "white"], ["adidas", "chelsea"]],
+      "costs": {"adidas": 5, "adidas+juventus": 3},
+      "default_cost": null,
+      "max_classifier_length": null
+    }
+
+Classifier keys in ``costs`` use the canonical ``+``-joined label (sorted
+properties).  ``default_cost: null`` means unlisted classifiers are
+unavailable (weight ``∞``); a number prices every unlisted classifier
+uniformly.  Only :class:`~repro.core.costs.TableCost`-style models can be
+round-tripped — lazy models (hash costs) are reconstructed from their
+generator parameters instead, see :mod:`repro.datasets`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.costs import TableCost
+from repro.core.instance import MC3Instance
+from repro.core.properties import canonical_label
+from repro.core.solution import Solution
+from repro.exceptions import DatasetError
+
+PathLike = Union[str, Path]
+
+
+def instance_to_dict(instance: MC3Instance) -> Dict[str, object]:
+    """Serialise an instance whose cost model is a :class:`TableCost`."""
+    cost = instance.cost
+    if not isinstance(cost, TableCost):
+        raise DatasetError(
+            "only TableCost-backed instances serialise to JSON; lazy cost "
+            "models should be persisted via their generator parameters"
+        )
+    costs = {canonical_label(clf): weight for clf, weight in cost.items()}
+    default = cost.default if math.isfinite(cost.default) else None
+    return {
+        "name": instance.name,
+        "queries": [sorted(q) for q in instance.queries],
+        "costs": costs,
+        "default_cost": default,
+        "max_classifier_length": instance.max_classifier_length,
+    }
+
+
+def instance_from_dict(payload: Dict[str, object]) -> MC3Instance:
+    """Inverse of :func:`instance_to_dict`."""
+    try:
+        raw_queries = payload["queries"]
+        raw_costs = payload.get("costs", {})
+    except (TypeError, KeyError) as exc:
+        raise DatasetError(f"malformed instance payload: missing {exc}") from exc
+    table = {}
+    for label, weight in dict(raw_costs).items():
+        table[frozenset(str(label).split("+"))] = weight
+    default = payload.get("default_cost")
+    cost = TableCost(table, default=math.inf if default is None else float(default))
+    return MC3Instance(
+        raw_queries,
+        cost,
+        max_classifier_length=payload.get("max_classifier_length"),
+        name=str(payload.get("name", "")),
+    )
+
+
+def materialize_cost(instance: MC3Instance, max_entries: int = 1_000_000) -> MC3Instance:
+    """Replace a lazy cost model with an explicit :class:`TableCost` over
+    the instance's finite-weight candidate classifiers.
+
+    This is the paper's literal input representation (a list associating
+    a cost with every considered classifier) and makes any instance
+    serialisable.  Raises :class:`DatasetError` when the candidate
+    universe exceeds ``max_entries`` — at that point the instance should
+    be persisted as generator parameters instead.
+    """
+    table: Dict[frozenset, float] = {}
+    for q in instance.queries:
+        for clf in instance.candidates(q):
+            if clf not in table:
+                table[clf] = instance.weight(clf)
+                if len(table) > max_entries:
+                    raise DatasetError(
+                        f"classifier universe exceeds {max_entries} entries; "
+                        "persist the generator parameters instead"
+                    )
+    return MC3Instance(
+        instance.queries,
+        TableCost(table),
+        max_classifier_length=instance.max_classifier_length,
+        name=instance.name,
+    )
+
+
+def save_instance(instance: MC3Instance, path: PathLike) -> None:
+    """Write an instance to a JSON file."""
+    payload = instance_to_dict(instance)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_instance(path: PathLike) -> MC3Instance:
+    """Read an instance from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"{path}: invalid JSON ({exc})") from exc
+    return instance_from_dict(payload)
+
+
+def solution_to_dict(solution: Solution) -> Dict[str, object]:
+    """Serialise a solution."""
+    return {
+        "cost": solution.cost,
+        "classifiers": solution.sorted_labels(),
+    }
+
+
+def solution_from_dict(payload: Dict[str, object]) -> Solution:
+    """Inverse of :func:`solution_to_dict`."""
+    try:
+        labels = payload["classifiers"]
+        cost = float(payload["cost"])  # type: ignore[arg-type]
+    except (TypeError, KeyError, ValueError) as exc:
+        raise DatasetError(f"malformed solution payload: {exc}") from exc
+    classifiers = [frozenset(str(label).split("+")) for label in labels]
+    return Solution(classifiers, cost)
+
+
+def save_solution(solution: Solution, path: PathLike) -> None:
+    """Write a solution to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(solution_to_dict(solution), handle, indent=2, sort_keys=True)
+
+
+def load_solution(path: PathLike) -> Solution:
+    """Read a solution from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"{path}: invalid JSON ({exc})") from exc
+    return solution_from_dict(payload)

@@ -1,0 +1,202 @@
+"""Exact minimum-cost cover of a *single* query (bitmask DP).
+
+Covering one query ``q`` is a weighted set cover over at most ``k``
+elements whose candidate sets are the finite-weight subsets of ``q`` —
+small enough (``k`` rarely exceeds 5 in practice, Section 2.1) for an
+exact ``O(2^k · |candidates|)`` dynamic program.
+
+This primitive backs:
+
+* the Local-Greedy baseline (Section 6.1), which repeatedly finds "the
+  least costly cover ... of a single query over all queries";
+* preprocessing step 3's forced-cover detection; and
+* the exact solver's per-component enumeration on tiny components.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.properties import Classifier, Query
+from repro.exceptions import UncoverableQueryError
+
+
+class QueryCover:
+    """Result of a single-query minimum cover computation."""
+
+    __slots__ = ("query", "classifiers", "cost")
+
+    def __init__(self, query: Query, classifiers: Tuple[Classifier, ...], cost: float):
+        self.query = query
+        self.classifiers = classifiers
+        self.cost = cost
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        labels = ", ".join("+".join(sorted(c)) for c in self.classifiers)
+        return f"<QueryCover cost={self.cost} via [{labels}]>"
+
+
+def min_cover(
+    q: Query,
+    candidates: Iterable[Tuple[Classifier, float]],
+    required: bool = True,
+) -> Optional[QueryCover]:
+    """Minimum-cost exact cover of query ``q``.
+
+    Parameters
+    ----------
+    q:
+        The query to cover.
+    candidates:
+        ``(classifier, weight)`` pairs.  Classifiers that are not subsets
+        of ``q`` or have non-finite weight are ignored, so callers may
+        pass a broader pool.
+    required:
+        When true (default) an uncoverable query raises
+        :class:`UncoverableQueryError`; otherwise ``None`` is returned.
+
+    Returns
+    -------
+    A :class:`QueryCover` whose classifiers have union exactly ``q`` and
+    whose total weight is minimal, with ties broken toward fewer
+    classifiers and then deterministic enumeration order.
+    """
+    props = sorted(q)
+    index = {prop: i for i, prop in enumerate(props)}
+    full = (1 << len(props)) - 1
+
+    usable: List[Tuple[int, float, Classifier]] = []
+    for clf, weight in candidates:
+        if not clf or not clf <= q or not math.isfinite(weight):
+            continue
+        mask = 0
+        for prop in clf:
+            mask |= 1 << index[prop]
+        usable.append((mask, weight, clf))
+
+    # dp maps covered-mask -> (cost, classifier count, back-pointer).
+    INF = math.inf
+    size = full + 1
+    dp_cost = [INF] * size
+    dp_count = [0] * size
+    back: List[Optional[Tuple[int, int]]] = [None] * size  # (prev_mask, usable_idx)
+    dp_cost[0] = 0.0
+
+    # Masks only ever grow when a set is added, so a single ascending pass
+    # over masks relaxes every useful transition exactly once.
+    for mask in range(size):
+        cost_here = dp_cost[mask]
+        if cost_here is INF:
+            continue
+        count_here = dp_count[mask]
+        for idx, (clf_mask, weight, _clf) in enumerate(usable):
+            nxt = mask | clf_mask
+            if nxt == mask:
+                continue
+            new_cost = cost_here + weight
+            if new_cost < dp_cost[nxt] or (
+                new_cost == dp_cost[nxt] and count_here + 1 < dp_count[nxt]
+            ):
+                dp_cost[nxt] = new_cost
+                dp_count[nxt] = count_here + 1
+                back[nxt] = (mask, idx)
+
+    if dp_cost[full] is INF:
+        if required:
+            raise UncoverableQueryError(q)
+        return None
+
+    chosen: List[Classifier] = []
+    mask = full
+    while mask:
+        prev_mask, idx = back[mask]  # type: ignore[misc]
+        chosen.append(usable[idx][2])
+        mask = prev_mask
+    chosen.reverse()
+    return QueryCover(q, tuple(chosen), dp_cost[full])
+
+
+def min_cover_from_model(q: Query, instance) -> Optional[QueryCover]:
+    """Convenience wrapper: candidates come from an
+    :class:`~repro.core.instance.MC3Instance`."""
+    pairs = ((clf, instance.weight(clf)) for clf in instance.candidates(q))
+    return min_cover(q, pairs, required=False)
+
+
+def enumerate_covers(
+    q: Query,
+    candidates: Sequence[Tuple[Classifier, float]],
+    limit: Optional[int] = None,
+    node_budget: Optional[int] = None,
+) -> List[QueryCover]:
+    """Enumerate minimal (irredundant) covers of ``q``.
+
+    A cover is *irredundant* if removing any classifier leaves the query
+    uncovered.  Exponential in the worst case; used by preprocessing's
+    "only one cover possibility" test on small queries and by tests.
+
+    ``limit`` stops the search after that many covers (the uniqueness
+    test only needs two).  ``node_budget`` caps the search-tree size; on
+    exhaustion the function returns the covers found so far *plus* a
+    sentinel duplicate of the last one when at least one was found, so
+    callers testing "exactly one cover" conservatively see "more than
+    one" rather than a false unique.
+    """
+    props = sorted(q)
+    index = {prop: i for i, prop in enumerate(props)}
+    full = (1 << len(props)) - 1
+    usable = []
+    for clf, weight in candidates:
+        if clf and clf <= q and math.isfinite(weight):
+            mask = 0
+            for prop in clf:
+                mask |= 1 << index[prop]
+            usable.append((mask, weight, clf))
+
+    results: List[QueryCover] = []
+    nodes = [0]
+    exhausted = [False]
+
+    def is_irredundant(indices: List[int]) -> bool:
+        for skip in range(len(indices)):
+            mask = 0
+            for pos, idx in enumerate(indices):
+                if pos != skip:
+                    mask |= usable[idx][0]
+            if mask == full:
+                return False
+        return True
+
+    def done() -> bool:
+        if limit is not None and len(results) >= limit:
+            return True
+        if node_budget is not None and nodes[0] > node_budget:
+            exhausted[0] = True
+            return True
+        return False
+
+    def recurse(start: int, mask: int, picked: List[int]) -> None:
+        nodes[0] += 1
+        if done():
+            return
+        if mask == full:
+            if is_irredundant(picked):
+                clfs = tuple(usable[i][2] for i in picked)
+                cost = sum(usable[i][1] for i in picked)
+                results.append(QueryCover(q, clfs, cost))
+            return
+        for idx in range(start, len(usable)):
+            if done():
+                return
+            clf_mask = usable[idx][0]
+            if clf_mask | mask == mask:
+                continue  # contributes nothing
+            picked.append(idx)
+            recurse(idx + 1, mask | clf_mask, picked)
+            picked.pop()
+
+    recurse(0, 0, [])
+    if exhausted[0] and results:
+        results.append(results[-1])
+    return results

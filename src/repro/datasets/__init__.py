@@ -1,0 +1,72 @@
+"""Dataset generators and loaders for the experimental study.
+
+Three generated datasets mirror the paper's Table 1 (see DESIGN.md for
+the substitution rationale): :func:`bestbuy_like` (BB),
+:func:`private_like` (P, plus category slices), :func:`synthetic` (S).
+"""
+
+from typing import Callable, Dict, List
+
+from repro.core.instance import MC3Instance
+from repro.datasets.bestbuy import bestbuy_like
+from repro.datasets.composer import CategoryQuerySampler, draw_lengths, zipf_choice
+from repro.datasets.costmodels import SubAdditiveHashCost
+from repro.datasets.loaders import (
+    instance_from_files,
+    load_cost_table_csv,
+    load_query_log,
+    save_cost_table_csv,
+    save_query_log,
+)
+from repro.datasets.private import (
+    private_like,
+    private_like_category,
+    private_like_short,
+)
+from repro.datasets.synthetic import synthetic, synthetic_k2
+from repro.exceptions import DatasetError
+
+_GENERATORS: Dict[str, Callable[..., MC3Instance]] = {
+    "bestbuy": bestbuy_like,
+    "private": private_like,
+    "private-short": private_like_short,
+    "private-fashion": lambda **kw: private_like_category("fashion", **kw),
+    "synthetic": synthetic,
+    "synthetic-k2": synthetic_k2,
+}
+
+
+def available_datasets() -> List[str]:
+    """Registered dataset generator names."""
+    return sorted(_GENERATORS)
+
+
+def make_dataset(name: str, **kwargs) -> MC3Instance:
+    """Generate a dataset by registry name."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        known = ", ".join(available_datasets())
+        raise DatasetError(f"unknown dataset {name!r} (known: {known})") from None
+    return generator(**kwargs)
+
+
+__all__ = [
+    "CategoryQuerySampler",
+    "SubAdditiveHashCost",
+    "available_datasets",
+    "bestbuy_like",
+    "draw_lengths",
+    "instance_from_files",
+    "load_cost_table_csv",
+    "load_query_log",
+    "make_dataset",
+    "private_like",
+    "private_like_category",
+    "private_like_short",
+    "save_cost_table_csv",
+    "save_query_log",
+    "synthetic",
+    "synthetic_k2",
+    "zipf_choice",
+]

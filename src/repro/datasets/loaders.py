@@ -1,0 +1,91 @@
+"""Loading query logs and cost tables from files.
+
+Two plain-text formats for interoperability with real logs:
+
+* **query log** — one query per line, properties whitespace-separated;
+  blank lines and ``#`` comments ignored;
+* **cost table CSV** — ``classifier,cost`` rows, where the classifier
+  column uses the canonical ``+``-joined label.
+
+JSON round-tripping of full instances lives in :mod:`repro.core.io`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.costs import TableCost, parse_classifier_key
+from repro.core.instance import MC3Instance
+from repro.core.properties import Classifier, Query
+from repro.exceptions import DatasetError
+
+PathLike = Union[str, Path]
+
+
+def load_query_log(path: PathLike) -> List[Query]:
+    """Read a whitespace-separated query log."""
+    queries: List[Query] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            queries.append(frozenset(parts))
+    if not queries:
+        raise DatasetError(f"{path}: query log is empty")
+    return queries
+
+
+def save_query_log(queries, path: PathLike) -> None:
+    """Write a whitespace-separated query log (sorted properties)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for q in queries:
+            handle.write(" ".join(sorted(q)) + "\n")
+
+
+def load_cost_table_csv(path: PathLike, default: float = float("inf")) -> TableCost:
+    """Read a ``classifier,cost`` CSV into a :class:`TableCost`."""
+    table: Dict[Classifier, float] = {}
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        for row_number, row in enumerate(reader, start=1):
+            if not row or row[0].strip().startswith("#"):
+                continue
+            if len(row) != 2:
+                raise DatasetError(f"{path}:{row_number}: expected 'classifier,cost'")
+            label, cost_text = row
+            try:
+                cost = float(cost_text)
+            except ValueError:
+                if row_number == 1:
+                    continue  # header row
+                raise DatasetError(f"{path}:{row_number}: bad cost {cost_text!r}") from None
+            table[parse_classifier_key(label)] = cost
+    if not table:
+        raise DatasetError(f"{path}: cost table is empty")
+    return TableCost(table, default=default)
+
+
+def save_cost_table_csv(cost: TableCost, path: PathLike) -> None:
+    """Write a :class:`TableCost` to a ``classifier,cost`` CSV."""
+    from repro.core.properties import canonical_label
+
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["classifier", "cost"])
+        for clf, weight in sorted(cost.items(), key=lambda kv: canonical_label(kv[0])):
+            writer.writerow([canonical_label(clf), weight])
+
+
+def instance_from_files(
+    query_log: PathLike, cost_csv: PathLike, default_cost: float = float("inf"), name: str = ""
+) -> MC3Instance:
+    """Assemble an instance from a query log and a cost table."""
+    return MC3Instance(
+        load_query_log(query_log),
+        load_cost_table_csv(cost_csv, default=default_cost),
+        name=name or str(query_log),
+    )

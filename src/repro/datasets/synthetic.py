@@ -1,0 +1,105 @@
+"""The synthetic dataset (Section 6.1, Table 1 row "S") — the paper's
+own generation recipe, implemented directly:
+
+* ``n`` distinct queries (paper: up to 100,000);
+* query length ``l ≥ 2`` with probability ``1 / 2^(l-1)`` (half the
+  queries have length two, a quarter length three, …), re-drawn above
+  10 ("such long queries are rare in practice");
+* properties drawn uniformly from a pool of ``n/t`` properties, with
+  ``t`` drawn uniformly from ``[2, √n]`` once per dataset;
+* classifier costs uniform integers in ``[1, 50]``, realised lazily by
+  :class:`~repro.core.costs.HashCost` (the classifier universe is far
+  too large to materialise).
+
+``max_classifier_length`` bounds the classifiers considered (the
+*bounded classifiers* regime of Section 5.3, "a prevalent approach is to
+consider only classifiers of length at most k' < k"); the general-case
+benchmarks use ``k' = 3`` to keep single-process wall-clock sane and
+record that choice in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Set
+
+from repro.core.costs import HashCost
+from repro.core.instance import MC3Instance
+from repro.core.properties import Query
+from repro.exceptions import DatasetError
+
+MAX_QUERY_LENGTH = 10
+COST_LOW = 1
+COST_HIGH = 50
+
+
+def _draw_length(rng: random.Random, max_length: int) -> int:
+    """Geometric: P(l) = 2^-(l-1) for l >= 2, re-drawn beyond the cap."""
+    while True:
+        length = 2
+        while rng.random() < 0.5:
+            length += 1
+        if length <= max_length:
+            return length
+
+
+def synthetic(
+    n: int = 100_000,
+    seed: int = 0,
+    max_length: int = MAX_QUERY_LENGTH,
+    max_classifier_length: Optional[int] = None,
+) -> MC3Instance:
+    """Generate the S dataset.
+
+    Parameters
+    ----------
+    n:
+        Number of distinct queries.
+    seed:
+        Generator seed (also seeds the lazy cost hash).
+    max_length:
+        Query length cap; the paper uses 10.  ``max_length=2`` yields the
+        k ≤ 2 load of Figure 3c.
+    max_classifier_length:
+        Optional bound k' on classifier length (Section 5.3).
+    """
+    if n < 1:
+        raise DatasetError("n must be >= 1")
+    if max_length < 2:
+        raise DatasetError("max_length must be >= 2 (the paper draws lengths >= 2)")
+    rng = random.Random(f"synthetic-{seed}-{n}-{max_length}")
+
+    # Property pool: n/t properties, t ~ U[2, sqrt(n)].  Guard against
+    # pools too small to hold n *distinct* queries (possible for small n
+    # or an unlucky large t): grow the pool until the number of length-2
+    # combinations alone gives a comfortable 3x margin.
+    sqrt_n = max(2, int(math.isqrt(n)))
+    t = rng.uniform(2, sqrt_n)
+    pool_size = max(2, int(n / t))
+    while pool_size * (pool_size - 1) // 2 < 3 * n:
+        pool_size *= 2
+    pool = [f"p{i}" for i in range(pool_size)]
+
+    queries: List[Query] = []
+    seen: Set[Query] = set()
+    while len(queries) < n:
+        length = _draw_length(rng, max_length)
+        q = frozenset(rng.sample(pool, length))
+        if q not in seen:
+            seen.add(q)
+            queries.append(q)
+
+    cost = HashCost(COST_LOW, COST_HIGH, seed=seed)
+    return MC3Instance(
+        queries,
+        cost,
+        max_classifier_length=max_classifier_length,
+        name=f"S(n={n},seed={seed},maxlen={max_length})",
+    )
+
+
+def synthetic_k2(n: int = 100_000, seed: int = 0) -> MC3Instance:
+    """The synthetic load restricted to k ≤ 2 (all queries length 2),
+    used by the Figure 3c runtime experiment."""
+    return synthetic(n, seed=seed, max_length=2)

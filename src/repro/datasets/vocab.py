@@ -1,0 +1,127 @@
+"""E-commerce property vocabularies used by the dataset generators.
+
+Properties are the atoms of queries ("white", "adidas", "juventus" in
+the paper's running example).  Each category bundles product types,
+brands, attributes and colours; generators compose queries from them
+with popularity skew so that properties are shared across queries —
+the structure that makes the MC³ trade-offs interesting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+ELECTRONICS_TYPES: Sequence[str] = (
+    "laptop", "tv", "headphones", "camera", "phone", "tablet", "monitor",
+    "router", "printer", "speaker", "drone", "keyboard", "mouse",
+    "smartwatch", "projector", "console", "earbuds", "soundbar",
+    "microphone", "webcam", "charger", "powerbank", "ssd", "harddrive",
+    "dashcam", "scanner", "modem", "ups", "nas", "graphics-card",
+    "motherboard", "cpu", "ram", "case-fan", "docking-station", "stylus",
+    "e-reader", "tripod", "lens", "flash", "gimbal", "vr-headset",
+    "media-player", "turntable", "amplifier", "receiver", "subwoofer",
+    "intercom", "doorbell-cam", "thermostat",
+)
+
+ELECTRONICS_BRANDS: Sequence[str] = (
+    "samsung", "sony", "apple", "lg", "hp", "dell", "lenovo", "canon",
+    "nikon", "bose", "jbl", "asus", "acer", "logitech", "microsoft",
+    "panasonic", "philips", "sennheiser", "garmin", "gopro", "razer",
+    "corsair", "msi", "gigabyte", "tplink", "netgear", "anker",
+    "beats", "fitbit", "xiaomi", "oneplus", "huawei", "epson", "brother",
+)
+
+ELECTRONICS_ATTRIBUTES: Sequence[str] = (
+    "wireless", "bluetooth", "4k", "oled", "gaming", "refurbished",
+    "portable", "waterproof", "curved", "touchscreen", "noise-cancelling",
+    "smart", "ultrawide", "mechanical", "rgb", "hdr", "compact",
+    "budget", "premium", "usb-c", "8k", "qled", "120hz", "144hz",
+    "wifi6", "dolby-atmos", "fast-charging", "dual-sim", "5g",
+    "backlit", "ergonomic-design", "low-latency", "open-back",
+    "closed-back", "full-frame", "mirrorless", "zoom", "wide-angle",
+    "silent", "overclocked", "liquid-cooled", "fanless", "modular",
+)
+
+FASHION_TYPES: Sequence[str] = (
+    "dress", "shirt", "jeans", "sneakers", "jacket", "skirt", "hoodie",
+    "coat", "boots", "sandals", "blouse", "sweater", "shorts", "suit",
+    "scarf", "cap", "socks", "belt", "handbag", "t-shirt",
+)
+
+FASHION_BRANDS: Sequence[str] = (
+    "nike", "adidas", "zara", "gucci", "levis", "puma", "h&m", "uniqlo",
+    "prada", "versace", "lacoste", "reebok", "tommy", "calvin-klein",
+    "mango", "newbalance",
+)
+
+FASHION_ATTRIBUTES: Sequence[str] = (
+    "summer", "winter", "vintage", "slim-fit", "leather", "cotton",
+    "floral", "long-sleeve", "sleeveless", "denim", "wool", "striped",
+    "oversized", "casual", "formal", "waterproof", "knitted", "linen",
+)
+
+HOME_TYPES: Sequence[str] = (
+    "sofa", "lamp", "rug", "grill", "mower", "desk", "chair", "bookshelf",
+    "mattress", "curtains", "mirror", "planter", "wardrobe", "bench",
+    "table", "cushion", "blender", "kettle", "vacuum", "heater",
+    "toaster", "microwave", "fridge", "freezer", "dishwasher", "oven",
+    "cooktop", "airfryer", "mixer", "juicer", "dehumidifier", "fan",
+    "air-purifier", "pressure-washer", "hedge-trimmer", "chainsaw",
+    "wheelbarrow", "greenhouse", "pergola", "hammock", "firepit",
+    "parasol", "shed", "compost-bin", "bird-feeder", "fountain",
+)
+
+HOME_BRANDS: Sequence[str] = (
+    "ikea", "dyson", "weber", "bosch", "philips-home", "tefal", "kenwood",
+    "delonghi", "makita", "karcher", "gardena", "keter", "black-decker",
+    "ryobi", "stihl", "husqvarna", "whirlpool", "miele", "zanussi",
+    "electrolux", "ninja", "instant-pot", "le-creuset", "brabantia",
+)
+
+HOME_ATTRIBUTES: Sequence[str] = (
+    "wooden", "rattan", "foldable", "outdoor", "indoor", "cordless",
+    "ergonomic", "modern", "rustic", "velvet", "marble", "adjustable",
+    "stackable", "energy-efficient", "handmade", "recycled", "oak",
+    "bamboo", "weatherproof", "self-propelled", "robotic", "electric",
+    "gas-powered", "cast-iron", "stainless", "non-stick", "king-size",
+    "queen-size", "memory-foam", "orthopedic", "blackout", "thermal",
+    "corner", "three-seater", "reclining", "extendable",
+)
+
+COLORS: Sequence[str] = (
+    "white", "black", "red", "blue", "green", "grey", "beige", "pink",
+    "navy", "brown", "yellow", "silver", "gold", "purple",
+)
+
+
+CATEGORY_VOCAB: Dict[str, Dict[str, Sequence[str]]] = {
+    "electronics": {
+        "types": ELECTRONICS_TYPES,
+        "brands": ELECTRONICS_BRANDS,
+        "attributes": ELECTRONICS_ATTRIBUTES,
+        "colors": COLORS,
+    },
+    "fashion": {
+        "types": FASHION_TYPES,
+        "brands": FASHION_BRANDS,
+        "attributes": FASHION_ATTRIBUTES,
+        "colors": COLORS,
+    },
+    "home": {
+        "types": HOME_TYPES,
+        "brands": HOME_BRANDS,
+        "attributes": HOME_ATTRIBUTES,
+        "colors": COLORS,
+    },
+}
+
+
+def category_names() -> List[str]:
+    """Known category labels."""
+    return sorted(CATEGORY_VOCAB)
+
+
+def vocabulary(category: str) -> Dict[str, Sequence[str]]:
+    """The vocabulary of one category; raises ``KeyError`` for unknown
+    categories (callers validate and re-raise as DatasetError)."""
+    return CATEGORY_VOCAB[category]

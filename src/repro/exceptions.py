@@ -1,0 +1,58 @@
+"""Typed exceptions raised across the :mod:`repro` package.
+
+Every error deliberately raised by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc. are still
+raised directly for misuse of the API).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidInstanceError(ReproError):
+    """An :class:`~repro.core.instance.MC3Instance` violates a model invariant.
+
+    Examples: an empty query, a non-string property, a negative classifier
+    weight, or a duplicate query after canonicalisation when duplicates are
+    forbidden.
+    """
+
+
+class UncoverableQueryError(ReproError):
+    """A query admits no finite-cost cover.
+
+    The paper assumes every query can be covered at finite cost ("we assume
+    that Q can be covered by a solution of finite weight, and disregard the
+    trivial cases where this does not hold", Section 2.1).  Solvers raise
+    this error instead of silently producing an infinite-cost solution.
+    """
+
+    def __init__(self, query, message: str | None = None):
+        self.query = query
+        if message is None:
+            message = f"query {sorted(query)!r} has no finite-cost cover"
+        super().__init__(message)
+
+
+class InfeasibleSolutionError(ReproError):
+    """A produced solution fails the independent coverage verification."""
+
+
+class ReductionError(ReproError):
+    """A problem reduction received an instance outside its domain.
+
+    For example, the bipartite WVC reduction of Theorem 4.1 only accepts
+    instances whose maximal query length is two.
+    """
+
+
+class SolverError(ReproError):
+    """A solver failed for a reason other than an invalid instance."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or loader received invalid parameters or data."""

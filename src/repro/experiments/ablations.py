@@ -1,0 +1,166 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but measurements backing its in-text claims
+and our implementation decisions:
+
+* :func:`maxflow_comparison` — Section 6.1 reports testing bipartite
+  max-flow algorithms and settling on Dinic; we compare all four
+  kernels on the WVC networks produced by the k = 2 reduction.
+* :func:`preprocessing_steps` — per-step contribution of Algorithm 1
+  (the paper reports only aggregate savings).
+* :func:`wsc_methods` — greedy vs LP rounding vs primal–dual vs the
+  paper's best-of inside Algorithm 3.
+* :func:`short_first_threshold` — where Short-First overtakes plain
+  MC3[G] as the share of short queries grows.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.instance import MC3Instance
+from repro.datasets import private_like, synthetic, synthetic_k2  # noqa: F401
+from repro.experiments.report import FigureResult, Series
+from repro.flow import ALGORITHMS
+from repro.preprocess import ALL_STEPS
+from repro.solvers import make_solver
+
+
+def maxflow_comparison(
+    sizes: Optional[Sequence[int]] = None, seed: int = 0
+) -> FigureResult:
+    """MC3[S] runtime per max-flow kernel on synthetic k ≤ 2 loads."""
+    chosen = list(sizes) if sizes is not None else [1000, 5000, 10_000]
+    series: Dict[str, List[Tuple[float, float]]] = {name: [] for name in sorted(ALGORITHMS)}
+    for n in chosen:
+        instance = synthetic_k2(n, seed=seed)
+        for name in sorted(ALGORITHMS):
+            result = make_solver("mc3-k2", flow_algorithm=name).solve(instance)
+            series[name].append((n, result.elapsed_seconds))
+    return FigureResult(
+        "Ablation A1",
+        "Max-flow kernel comparison inside MC3[S] (synthetic, k<=2)",
+        "#queries",
+        "runtime (seconds)",
+        [Series(name, points) for name, points in series.items()],
+    )
+
+
+def preprocessing_steps(
+    n: int = 2000, seed: int = 0
+) -> FigureResult:
+    """Cost and runtime of MC3[G] as Algorithm 1 steps are enabled
+    cumulatively (∅, {1}, {1,2}, {1,2,3}, {1,2,3,4})."""
+    instance = synthetic(n, seed=seed, max_classifier_length=3)
+    cumulative: List[Tuple[str, Tuple[int, ...]]] = [
+        ("none", ()),
+        ("step1", (1,)),
+        ("steps1-2", (1, 2)),
+        ("steps1-3", (1, 2, 3)),
+        ("steps1-4", ALL_STEPS),
+    ]
+    cost_points: List[Tuple[float, float]] = []
+    time_points: List[Tuple[float, float]] = []
+    for index, (label, steps) in enumerate(cumulative):
+        # lp_size_limit=0 selects the scalable greedy/primal-dual pair —
+        # the same configuration as Figures 3e/3f (at paper scale the LP
+        # is out of budget, and the LP arm happens to be insensitive to
+        # pruning at small scales, masking the effect being measured).
+        result = make_solver(
+            "mc3-general", lp_size_limit=0, preprocess_steps=steps
+        ).solve(instance)
+        cost_points.append((index, result.cost))
+        time_points.append((index, result.elapsed_seconds))
+    labels = ", ".join(f"{i}={label}" for i, (label, _s) in enumerate(cumulative))
+    return FigureResult(
+        "Ablation A2",
+        f"Per-step preprocessing contribution on MC3[G] (synthetic n={n})",
+        "steps enabled",
+        "cost / seconds",
+        [Series("cost", cost_points), Series("runtime", time_points)],
+        notes=f"x axis: {labels}",
+    )
+
+
+def wsc_methods(
+    n: int = 2000, seed: int = 0
+) -> FigureResult:
+    """Algorithm 3's inner WSC algorithm: greedy vs LP vs primal–dual vs
+    best-of (the paper runs greedy + LP and keeps the cheaper)."""
+    instance = private_like(n, seed=seed)
+    methods = ["greedy", "bucket_greedy", "lp", "primal_dual", "best_of"]
+    cost_points: List[Tuple[float, float]] = []
+    time_points: List[Tuple[float, float]] = []
+    for index, method in enumerate(methods):
+        result = make_solver("mc3-general", wsc_method=method).solve(instance)
+        cost_points.append((index, result.cost))
+        time_points.append((index, result.elapsed_seconds))
+    labels = ", ".join(f"{i}={m}" for i, m in enumerate(methods))
+    return FigureResult(
+        "Ablation A3",
+        f"WSC method inside MC3[G] (P-like n={n})",
+        "method",
+        "cost / seconds",
+        [Series("cost", cost_points), Series("runtime", time_points)],
+        notes=f"x axis: {labels}",
+    )
+
+
+def redundancy_cost(
+    n: int = 1500, seed: int = 0, redundancies: Sequence[int] = (1, 2)
+) -> FigureResult:
+    """Price of robustness: r-redundant coverage vs the plain optimum.
+
+    Runs on the load's multi-property queries (singleton queries have a
+    single candidate classifier and cannot be made redundant)."""
+    base = private_like(n, seed=seed)
+    instance = base.restricted_to(lambda q: len(q) >= 2, name=f"{base.name}|multi")
+    points: List[Tuple[float, float]] = []
+    for r in redundancies:
+        result = make_solver("mc3-robust", redundancy=r).solve(instance)
+        points.append((r, result.cost))
+    plain = make_solver("mc3-general").solve(instance)
+    return FigureResult(
+        "Ablation A5",
+        f"Cost of r-redundant coverage (P-like multi-property queries, n={instance.n})",
+        "redundancy r",
+        "construction cost",
+        [
+            Series("robust greedy", points),
+            Series("plain MC3[G] (r=1 reference)", [(1, plain.cost)]),
+        ],
+    )
+
+
+def short_first_threshold(
+    n: int = 2000, seed: int = 0, shares: Sequence[float] = (0.5, 0.7, 0.85, 0.95)
+) -> FigureResult:
+    """Short-First vs MC3[G] as the short-query share grows.
+
+    Mixes the short and long parts of a P-like load at controlled
+    ratios; the paper observes Short-First winning at 96% short (the
+    fashion slice)."""
+    base = private_like(max(n * 2, 2000), seed=seed)
+    short_queries = [q for q in base.queries if len(q) <= 2]
+    long_queries = [q for q in base.queries if len(q) > 2]
+    sf_points: List[Tuple[float, float]] = []
+    general_points: List[Tuple[float, float]] = []
+    for share in shares:
+        want_short = round(n * share)
+        want_long = n - want_short
+        if want_short > len(short_queries) or want_long > len(long_queries):
+            continue
+        mixed = short_queries[:want_short] + long_queries[:want_long]
+        instance = MC3Instance(mixed, base.cost, name=f"mix-{share:.2f}")
+        sf = make_solver("short-first").solve(instance)
+        general = make_solver("mc3-general").solve(instance)
+        sf_points.append((share, sf.cost))
+        general_points.append((share, general.cost))
+    return FigureResult(
+        "Ablation A4",
+        f"Short-First vs MC3[G] by short-query share (P-like, n={n})",
+        "short share",
+        "construction cost",
+        [Series("Short-First", sf_points), Series("MC3[G]", general_points)],
+    )

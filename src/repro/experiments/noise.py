@@ -1,0 +1,68 @@
+"""Classifier-noise experiment: accuracy vs end-to-end search quality.
+
+The paper fixes classifier accuracy at an implicit threshold and prices
+training accordingly (Section 2.1 footnote; Section 8 names the
+cost/accuracy trade-off as future work).  This experiment measures what
+that threshold buys: train the planned classifiers at varying error
+rates, complete the catalog, and watch recall and prediction quality
+degrade.
+
+Completion is conservative (a false positive would poison the store, so
+contradicting annotations are never written — the simulation counts
+them via the audit instead); the recall loss therefore comes from false
+*negatives*: items a noisy classifier fails to annotate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.catalog import ClassifierSuite, SearchEngine
+from repro.catalog.simulate import catalog_for_load
+from repro.datasets import private_like
+from repro.experiments.report import FigureResult, Series
+from repro.solvers import make_solver
+
+
+def noise_quality_curve(
+    n: int = 200,
+    error_rates: Sequence[float] = (0.0, 0.02, 0.05, 0.1, 0.2),
+    seed: int = 0,
+    observe_rate: float = 0.3,
+) -> FigureResult:
+    """Mean recall and audit precision/miss rate vs classifier error rate."""
+    load = private_like(n, seed=seed)
+    plan = make_solver("mc3-general").solve(load)
+
+    recall_points: List[Tuple[float, float]] = []
+    miss_points: List[Tuple[float, float]] = []
+    for error_rate in error_rates:
+        catalog = catalog_for_load(
+            load, observe_rate=observe_rate, distractors=n, seed=seed
+        )
+        suite = ClassifierSuite.train(
+            plan.solution.classifiers, load.cost, error_rate=error_rate, seed=seed
+        )
+        suite.complete_catalog(catalog)
+        engine = SearchEngine(catalog)
+        report = engine.quality(load.queries)
+        audit = suite.audit(catalog)
+        positives = audit["tp"] + audit["fn"]
+        miss_rate = audit["fn"] / positives if positives else 0.0
+        recall_points.append((error_rate, report.mean_recall))
+        miss_points.append((error_rate, miss_rate))
+
+    return FigureResult(
+        "Noise",
+        f"Classifier error rate vs search quality (P-like n={load.n})",
+        "classifier error rate",
+        "mean recall / classifier miss rate",
+        [
+            Series("mean search recall", recall_points),
+            Series("classifier miss rate (fn / positives)", miss_points),
+        ],
+        notes=(
+            "completion never writes contradicting annotations, so noise "
+            "costs recall through false negatives only."
+        ),
+    )

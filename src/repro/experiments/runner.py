@@ -1,0 +1,99 @@
+"""Experiment runner: subset sweeps of a dataset across solvers.
+
+Section 6.1: "for each inspected dataset, along with running the
+experiments on its entire query load, we also randomly select subsets of
+this query set of different cardinalities and run the algorithms over
+these corresponding sub-instances."  The runner fixes one random
+permutation per (dataset, seed) and takes prefixes, so sweeps are nested
+(a 2000-query subset contains the 1000-query one) and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.instance import MC3Instance
+from repro.core.solution import SolverResult
+from repro.exceptions import SolverError
+from repro.solvers import Solver, make_solver
+
+
+def subset_order(n: int, seed: int) -> List[int]:
+    """A deterministic random permutation of query indices."""
+    order = list(range(n))
+    random.Random(f"subset-order-{seed}").shuffle(order)
+    return order
+
+
+class SweepResult:
+    """Costs and runtimes per (solver, subset size)."""
+
+    def __init__(self, dataset_name: str, sizes: Sequence[int]):
+        self.dataset_name = dataset_name
+        self.sizes = list(sizes)
+        self.costs: Dict[str, Dict[int, float]] = {}
+        self.times: Dict[str, Dict[int, float]] = {}
+        self.failures: Dict[str, Dict[int, str]] = {}
+
+    def record(self, solver_label: str, size: int, result: SolverResult) -> None:
+        self.costs.setdefault(solver_label, {})[size] = result.cost
+        self.times.setdefault(solver_label, {})[size] = result.elapsed_seconds
+
+    def record_failure(self, solver_label: str, size: int, message: str) -> None:
+        self.failures.setdefault(solver_label, {})[size] = message
+
+    def cost_points(self, solver_label: str) -> List[Tuple[float, float]]:
+        data = self.costs.get(solver_label, {})
+        return [(size, data[size]) for size in self.sizes if size in data]
+
+    def time_points(self, solver_label: str) -> List[Tuple[float, float]]:
+        data = self.times.get(solver_label, {})
+        return [(size, data[size]) for size in self.sizes if size in data]
+
+
+SolverSpec = Tuple[str, str, Dict[str, object]]
+"""(display label, registry name, constructor kwargs)."""
+
+
+def sweep(
+    instance: MC3Instance,
+    solvers: Sequence[SolverSpec],
+    sizes: Sequence[int],
+    seed: int = 0,
+    allow_failures: bool = False,
+) -> SweepResult:
+    """Run each solver over random prefixes of the query load.
+
+    Sizes exceeding the load are clamped to the full load (and
+    deduplicated).  ``allow_failures=True`` records solver errors (e.g.
+    Mixed on non-uniform costs) instead of propagating them.
+    """
+    clamped: List[int] = []
+    for size in sizes:
+        value = min(int(size), instance.n)
+        if value >= 1 and value not in clamped:
+            clamped.append(value)
+    order = subset_order(instance.n, seed)
+    result = SweepResult(instance.name, clamped)
+    for size in clamped:
+        sub = instance.subset(size, order=order)
+        for label, name, kwargs in solvers:
+            solver = make_solver(name, **kwargs)
+            try:
+                result.record(label, size, solver.solve(sub))
+            except SolverError as exc:
+                if not allow_failures:
+                    raise
+                result.record_failure(label, size, str(exc))
+    return result
+
+
+def time_solver(
+    factory: Callable[[], Solver], instance: MC3Instance
+) -> SolverResult:
+    """Build and run a solver once (pre-construction outside the clock is
+    unnecessary — constructors are trivial — but the helper keeps the
+    call sites uniform)."""
+    return factory().solve(instance)

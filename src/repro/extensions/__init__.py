@@ -1,0 +1,70 @@
+"""Model extensions from Section 5.3: bounded classifier length and
+multi-valued classifiers; plus Section 2.1's zero-cost known properties
+(see :class:`repro.core.costs.ZeroedCost`)."""
+
+from repro.extensions.bounded import (
+    approximation_guarantee,
+    degree_bound,
+    frequency_bound,
+    instance_guarantee,
+)
+from repro.extensions.multivalued import (
+    MULTIVALUED_LABEL_KIND,
+    AttributeSchema,
+    MixedSelection,
+    extended_wsc,
+    merge_attributes,
+    solve_with_multivalued,
+)
+from repro.extensions.accuracy import (
+    AccuracyAwarePlan,
+    AccuracyAwarePlanner,
+    AccuracyCover,
+    Tier,
+    TieredCostModel,
+    TierPick,
+    min_cover_with_accuracy,
+    verify_plan,
+)
+from repro.extensions.incremental import BatchOutcome, IncrementalPlanner
+from repro.extensions.partial_cover import (
+    BudgetedSolution,
+    classifier_greedy_partial_cover,
+    exact_partial_cover,
+    greedy_partial_cover,
+)
+from repro.extensions.shared_cost import (
+    LocalSearchResult,
+    SharedLabelingCost,
+    shared_cost_local_search,
+)
+
+__all__ = [
+    "AccuracyAwarePlan",
+    "AccuracyAwarePlanner",
+    "AccuracyCover",
+    "BatchOutcome",
+    "BudgetedSolution",
+    "IncrementalPlanner",
+    "LocalSearchResult",
+    "SharedLabelingCost",
+    "shared_cost_local_search",
+    "Tier",
+    "TierPick",
+    "TieredCostModel",
+    "min_cover_with_accuracy",
+    "verify_plan",
+    "classifier_greedy_partial_cover",
+    "exact_partial_cover",
+    "greedy_partial_cover",
+    "AttributeSchema",
+    "MULTIVALUED_LABEL_KIND",
+    "MixedSelection",
+    "approximation_guarantee",
+    "degree_bound",
+    "extended_wsc",
+    "frequency_bound",
+    "instance_guarantee",
+    "merge_attributes",
+    "solve_with_multivalued",
+]

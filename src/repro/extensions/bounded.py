@@ -1,0 +1,68 @@
+"""Bounded classifiers (Section 5.3): only classifiers of length
+``k' < k`` are considered.
+
+The regime itself is expressed with
+:class:`~repro.core.costs.LengthCappedCost` or the instance-level
+``max_classifier_length``; this module adds the *parameter analysis* the
+paper derives for it — the improved frequency and degree bounds of the
+WSC reduction, and the resulting approximation guarantee — so tests and
+EXPERIMENTS.md can report guarantee-vs-achieved.
+"""
+
+from __future__ import annotations
+
+import math
+from math import comb
+from typing import Optional
+
+from repro.core.instance import MC3Instance
+
+
+def frequency_bound(k: int, k_prime: Optional[int] = None) -> int:
+    """Upper bound on the WSC frequency ``f`` (Section 5.3).
+
+    Unbounded: ``f = 2^(k-1)``.  With classifiers capped at ``k'``:
+    ``f ≤ sum_{i=0}^{k'-1} C(k-1, i)`` (the classifier must include the
+    element's property plus at most ``k'-1`` of the other ``k-1``).  For
+    ``k' = 2`` this is ``k``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k_prime is None or k_prime >= k:
+        return 2 ** (k - 1)
+    if k_prime < 1:
+        raise ValueError("k' must be >= 1")
+    return sum(comb(k - 1, i) for i in range(k_prime))
+
+
+def degree_bound(k: int, incidence: int, k_prime: Optional[int] = None) -> int:
+    """Upper bound on the WSC degree ``Δ ≤ (k'-1)·I`` (``(k-1)·I``
+    unbounded), Section 5.2/5.3."""
+    if incidence < 0:
+        raise ValueError("incidence must be >= 0")
+    effective = k if k_prime is None or k_prime >= k else k_prime
+    if effective < 1:
+        raise ValueError("k' must be >= 1")
+    return max(1, effective - 1) * incidence
+
+
+def approximation_guarantee(
+    k: int, incidence: int, k_prime: Optional[int] = None
+) -> float:
+    """Theorem 5.3's guarantee ``min{ln I + ln(k-1) + 1, f}`` with the
+    bounded-classifier refinements of Section 5.3 applied."""
+    f = frequency_bound(k, k_prime)
+    if incidence <= 0:
+        return float(f)
+    effective_k = k if k_prime is None or k_prime >= k else k
+    greedy = math.log(max(1, incidence)) + math.log(max(1, effective_k - 1)) + 1
+    return min(greedy, float(f))
+
+
+def instance_guarantee(instance: MC3Instance) -> float:
+    """The guarantee Algorithm 3 carries on this specific instance."""
+    return approximation_guarantee(
+        instance.max_query_length,
+        instance.incidence(),
+        instance.max_classifier_length,
+    )

@@ -1,0 +1,186 @@
+"""Incremental classifier planning.
+
+Query loads evolve: new popular queries arrive after classifiers have
+already been trained.  Re-solving from scratch would ignore the sunk
+cost of existing classifiers; the incremental planner instead solves
+each batch's *residual* problem — previously built classifiers are free
+(weight 0, exactly the paper's modelling of "selected" classifiers) —
+and accumulates the selection.
+
+This wraps any registered solver.  Batch-by-batch costs are reported
+incrementally; :meth:`IncrementalPlanner.replan` computes the
+from-scratch optimum over everything seen so far, quantifying the price
+of incrementality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.costs import CostModel, OverlayCost
+from repro.core.coverage import verify_cover
+from repro.core.instance import MC3Instance
+from repro.core.properties import Classifier, Query, query as make_query
+from repro.core.solution import Solution, SolverResult
+from repro.exceptions import InvalidInstanceError
+from repro.solvers import make_solver
+
+
+class BatchOutcome:
+    """Result of planning one batch of queries."""
+
+    __slots__ = ("batch_index", "new_queries", "incremental_cost", "new_classifiers", "solver_result")
+
+    def __init__(
+        self,
+        batch_index: int,
+        new_queries: Tuple[Query, ...],
+        incremental_cost: float,
+        new_classifiers: FrozenSet[Classifier],
+        solver_result: Optional[SolverResult],
+    ):
+        self.batch_index = batch_index
+        self.new_queries = new_queries
+        self.incremental_cost = incremental_cost
+        self.new_classifiers = new_classifiers
+        self.solver_result = solver_result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BatchOutcome #{self.batch_index}: +{len(self.new_queries)} queries, "
+            f"+{len(self.new_classifiers)} classifiers, cost +{self.incremental_cost:g}>"
+        )
+
+
+class IncrementalPlanner:
+    """Stateful planner over an evolving query load.
+
+    Parameters
+    ----------
+    cost:
+        The (stable) classifier cost model.
+    solver_name / solver_kwargs:
+        Which solver handles each residual batch (default: Algorithm 3).
+    max_classifier_length:
+        Optional bound k' applied to every batch.
+    """
+
+    def __init__(
+        self,
+        cost: CostModel,
+        solver_name: str = "mc3-general",
+        solver_kwargs: Optional[Dict[str, object]] = None,
+        max_classifier_length: Optional[int] = None,
+    ):
+        self.cost = cost
+        self.solver_name = solver_name
+        self.solver_kwargs = dict(solver_kwargs or {})
+        self.max_classifier_length = max_classifier_length
+        self._built: Set[Classifier] = set()
+        self._queries: List[Query] = []
+        self._query_set: Set[Query] = set()
+        self._batches: List[BatchOutcome] = []
+        self._total_cost = 0.0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def built_classifiers(self) -> FrozenSet[Classifier]:
+        """Everything trained so far."""
+        return frozenset(self._built)
+
+    @property
+    def queries(self) -> Tuple[Query, ...]:
+        """Every distinct query seen so far, in arrival order."""
+        return tuple(self._queries)
+
+    @property
+    def total_cost(self) -> float:
+        """Cumulative training spend."""
+        return self._total_cost
+
+    @property
+    def batches(self) -> Tuple[BatchOutcome, ...]:
+        return tuple(self._batches)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def add_batch(self, queries: Iterable[object]) -> BatchOutcome:
+        """Plan classifiers for a new batch of queries.
+
+        Already-seen queries are ignored; already-built classifiers are
+        free for the residual solve.  Returns the batch outcome (empty
+        batch ⇒ zero-cost outcome).
+        """
+        fresh: List[Query] = []
+        for spec in queries:
+            q = make_query(spec)
+            if q not in self._query_set:
+                self._query_set.add(q)
+                self._queries.append(q)
+                fresh.append(q)
+        index = len(self._batches)
+        if not fresh:
+            outcome = BatchOutcome(index, (), 0.0, frozenset(), None)
+            self._batches.append(outcome)
+            return outcome
+
+        overlay = OverlayCost(self.cost)
+        for clf in self._built:
+            overlay.select(clf)
+        residual = MC3Instance(
+            fresh,
+            overlay,
+            max_classifier_length=self.max_classifier_length,
+            name=f"batch{index}",
+        )
+        solver = make_solver(self.solver_name, **self.solver_kwargs)
+        result = solver.solve(residual)
+
+        new_classifiers = frozenset(result.solution.classifiers) - self._built
+        incremental_cost = sum(self.cost.cost(clf) for clf in new_classifiers)
+        self._built |= new_classifiers
+        self._total_cost += incremental_cost
+        outcome = BatchOutcome(index, tuple(fresh), incremental_cost, new_classifiers, result)
+        self._batches.append(outcome)
+        return outcome
+
+    def verify(self) -> None:
+        """The built set must cover every query seen so far."""
+        if self._queries:
+            verify_cover(self._queries, self._built)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def replan(self) -> SolverResult:
+        """From-scratch solve over everything seen so far (ignores sunk
+        costs).  The gap ``total_cost - replan().cost`` is the price paid
+        for incrementality."""
+        if not self._queries:
+            raise InvalidInstanceError("no queries have been added yet")
+        instance = MC3Instance(
+            self._queries,
+            self.cost,
+            max_classifier_length=self.max_classifier_length,
+            name="replanned",
+        )
+        solver = make_solver(self.solver_name, **self.solver_kwargs)
+        return solver.solve(instance)
+
+    def regret(self) -> float:
+        """``total_cost / replan cost`` (1.0 = incrementality was free)."""
+        replanned = self.replan().cost
+        if replanned == 0:
+            return 1.0
+        return self._total_cost / replanned
+
+    def as_solution(self) -> Solution:
+        """The cumulative selection priced against the base cost model."""
+        total = sum(self.cost.cost(clf) for clf in self._built)
+        return Solution(self._built, total)

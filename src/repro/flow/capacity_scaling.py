@@ -1,0 +1,89 @@
+"""Capacity-scaling max flow: augment only along edges with residual
+``>= Δ``, halving Δ until 1 (then a final exact phase for fractional
+capacities).
+
+``O(E^2 log U)`` with ``U`` the largest capacity.  Included because the
+paper discusses capacity-dependent algorithms as incomparable
+alternatives (Section 7, [34]); the benchmark in
+``benchmarks/bench_ablation_maxflow.py`` compares it against Dinic on the
+bipartite WVC instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from repro.exceptions import SolverError
+from repro.flow.network import FlowNetwork
+
+
+def capacity_scaling(network: FlowNetwork, source: Hashable, sink: Hashable) -> float:
+    """Run capacity-scaling augmentation; mutates residual capacities and
+    returns the max-flow value."""
+    s = network.node_id(source)
+    t = network.node_id(sink)
+    if s == t:
+        raise SolverError("source and sink must differ")
+    adj = network.raw_adj
+    cap = network.raw_cap
+    to = network.raw_to
+    n = network.num_nodes
+
+    top = network.max_finite_capacity()
+    delta = 1.0
+    while delta * 2 <= top:
+        delta *= 2
+
+    total = 0.0
+    while delta >= 1.0:
+        while True:
+            pushed = _augment_above(adj, cap, to, n, s, t, delta)
+            if pushed == 0.0:
+                break
+            total += pushed
+        delta /= 2
+    # Final exact phase catches fractional residuals below 1.
+    while True:
+        pushed = _augment_above(adj, cap, to, n, s, t, 0.0)
+        if pushed == 0.0:
+            break
+        total += pushed
+    return total
+
+
+def _augment_above(adj, cap, to, n, s, t, delta) -> float:
+    """One DFS augmentation using only residual edges ``> delta`` (or
+    ``> 0`` when delta is 0).  Returns the amount pushed (0 if no path)."""
+    threshold = delta if delta > 0 else 0.0
+    parent_edge = [-1] * n
+    parent_edge[s] = -2
+    stack = [s]
+    while stack:
+        node = stack.pop()
+        if node == t:
+            break
+        for index in adj[node]:
+            head = to[index]
+            residual = cap[index]
+            admissible = residual >= threshold if threshold > 0 else residual > 0
+            if admissible and parent_edge[head] == -1:
+                parent_edge[head] = index
+                stack.append(head)
+    if parent_edge[t] == -1:
+        return 0.0
+    bottleneck = math.inf
+    node = t
+    while node != s:
+        index = parent_edge[node]
+        bottleneck = min(bottleneck, cap[index])
+        node = to[index ^ 1]
+    if not math.isfinite(bottleneck):
+        raise SolverError("unbounded flow: an all-infinite s-t path exists")
+    node = t
+    while node != s:
+        index = parent_edge[node]
+        cap[index] -= bottleneck
+        cap[index ^ 1] += bottleneck
+        node = to[index ^ 1]
+    return bottleneck

@@ -1,0 +1,62 @@
+"""Edmonds–Karp max flow: BFS shortest augmenting paths, ``O(V · E^2)``.
+
+The simplest correct kernel; used as the reference implementation the
+other kernels are property-tested against.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Hashable
+
+from repro.exceptions import SolverError
+from repro.flow.network import FlowNetwork
+
+
+def edmonds_karp(network: FlowNetwork, source: Hashable, sink: Hashable) -> float:
+    """Run Edmonds–Karp; mutates the network's residual capacities and
+    returns the max-flow value."""
+    s = network.node_id(source)
+    t = network.node_id(sink)
+    if s == t:
+        raise SolverError("source and sink must differ")
+    adj = network.raw_adj
+    cap = network.raw_cap
+    to = network.raw_to
+    n = network.num_nodes
+
+    total = 0.0
+    while True:
+        # BFS recording the edge used to reach each node.
+        parent_edge = [-1] * n
+        parent_edge[s] = -2
+        frontier = deque([s])
+        while frontier and parent_edge[t] == -1:
+            node = frontier.popleft()
+            for index in adj[node]:
+                head = to[index]
+                if parent_edge[head] == -1 and cap[index] > 0:
+                    parent_edge[head] = index
+                    frontier.append(head)
+        if parent_edge[t] == -1:
+            return total
+
+        # Bottleneck along the path.
+        bottleneck = math.inf
+        node = t
+        while node != s:
+            index = parent_edge[node]
+            bottleneck = min(bottleneck, cap[index])
+            node = to[index ^ 1]
+        if not math.isfinite(bottleneck):
+            raise SolverError("unbounded flow: an all-infinite s-t path exists")
+
+        # Augment.
+        node = t
+        while node != s:
+            index = parent_edge[node]
+            cap[index] -= bottleneck
+            cap[index ^ 1] += bottleneck
+            node = to[index ^ 1]
+        total += bottleneck

@@ -1,0 +1,10 @@
+"""Lightweight graph substrate: undirected graphs and traversals.
+
+Used by preprocessing step 2 (connected-component decomposition of the
+query load) and by tests.  The flow networks used by the k = 2 solver
+live in :mod:`repro.flow`.
+"""
+
+from repro.graph.undirected import UndirectedGraph, connected_components
+
+__all__ = ["UndirectedGraph", "connected_components"]

@@ -1,0 +1,101 @@
+"""Undirected graphs with hashable node labels and BFS components.
+
+Preprocessing step 2 (Observation 3.2) builds a graph whose nodes are
+properties, with a path connecting the properties of each query, and
+splits the instance along connected components.  This module provides
+exactly that machinery, kept generic so tests and other substrates can
+reuse it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+
+class UndirectedGraph:
+    """Adjacency-set undirected graph over hashable labels."""
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[Hashable, Set[Hashable]] = {}
+
+    def add_node(self, node: Hashable) -> None:
+        """Ensure ``node`` exists (isolated nodes form their own component)."""
+        self._adjacency.setdefault(node, set())
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Add the undirected edge ``{u, v}`` (self-loops are ignored)."""
+        self.add_node(u)
+        self.add_node(v)
+        if u != v:
+            self._adjacency[u].add(v)
+            self._adjacency[v].add(u)
+
+    def add_path(self, nodes: Iterable[Hashable]) -> None:
+        """Connect consecutive nodes with edges.
+
+        This is the paper's trick for query decomposition: a path over a
+        query's properties suffices to keep them in one component while
+        adding only ``|q| - 1`` edges instead of ``O(|q|^2)``.
+        """
+        previous = None
+        for node in nodes:
+            self.add_node(node)
+            if previous is not None:
+                self.add_edge(previous, node)
+            previous = node
+
+    def neighbors(self, node: Hashable) -> Set[Hashable]:
+        return self._adjacency[node]
+
+    def nodes(self) -> Iterator[Hashable]:
+        return iter(self._adjacency)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def num_edges(self) -> int:
+        return sum(len(neigh) for neigh in self._adjacency.values()) // 2
+
+    def bfs(self, start: Hashable) -> List[Hashable]:
+        """Nodes reachable from ``start`` in BFS order."""
+        if start not in self._adjacency:
+            raise KeyError(start)
+        visited = {start}
+        order = [start]
+        frontier = deque([start])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in self._adjacency[node]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    order.append(neighbor)
+                    frontier.append(neighbor)
+        return order
+
+    def components(self) -> List[Set[Hashable]]:
+        """Connected components (deterministic order: by first-seen node).
+
+        Node iteration follows insertion order (Python dicts), so the
+        result is stable for a fixed construction sequence.
+        """
+        seen: Set[Hashable] = set()
+        result: List[Set[Hashable]] = []
+        for node in self._adjacency:
+            if node in seen:
+                continue
+            component = set(self.bfs(node))
+            seen |= component
+            result.append(component)
+        return result
+
+
+def connected_components(edges: Iterable[Tuple[Hashable, Hashable]]) -> List[Set[Hashable]]:
+    """Components of the graph given by an edge list."""
+    graph = UndirectedGraph()
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph.components()

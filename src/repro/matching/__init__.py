@@ -1,0 +1,15 @@
+"""Bipartite matching substrate (Hopcroft–Karp, König vertex cover)."""
+
+from repro.matching.hopcroft_karp import (
+    BipartiteGraph,
+    hopcroft_karp,
+    konig_vertex_cover,
+    maximum_matching_size,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "hopcroft_karp",
+    "konig_vertex_cover",
+    "maximum_matching_size",
+]

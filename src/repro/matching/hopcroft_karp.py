@@ -1,0 +1,158 @@
+"""Hopcroft–Karp maximum bipartite matching and König vertex cover.
+
+Backs the *Mixed* baseline of the prior work [Dushkin et al., EDBT 2019]:
+with uniform classifier costs and ``k ≤ 2``, the MC³ problem is an
+*unweighted* vertex cover on the bipartite reduction graph, which König's
+theorem solves exactly via a maximum matching.
+
+Hopcroft–Karp runs in ``O(E √V)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+INF = float("inf")
+
+
+class BipartiteGraph:
+    """A bipartite graph with labelled left/right nodes."""
+
+    def __init__(self) -> None:
+        self.left: List[Hashable] = []
+        self.right: List[Hashable] = []
+        self._left_ids: Dict[Hashable, int] = {}
+        self._right_ids: Dict[Hashable, int] = {}
+        self._adj: List[List[int]] = []  # left id -> right ids
+
+    def add_left(self, label: Hashable) -> int:
+        if label in self._left_ids:
+            return self._left_ids[label]
+        node_id = len(self.left)
+        self._left_ids[label] = node_id
+        self.left.append(label)
+        self._adj.append([])
+        return node_id
+
+    def add_right(self, label: Hashable) -> int:
+        if label in self._right_ids:
+            return self._right_ids[label]
+        node_id = len(self.right)
+        self._right_ids[label] = node_id
+        self.right.append(label)
+        return node_id
+
+    def add_edge(self, left_label: Hashable, right_label: Hashable) -> None:
+        u = self.add_left(left_label)
+        v = self.add_right(right_label)
+        self._adj[u].append(v)
+
+    @property
+    def adjacency(self) -> List[List[int]]:
+        return self._adj
+
+
+def hopcroft_karp(graph: BipartiteGraph) -> Dict[Hashable, Hashable]:
+    """Maximum matching as a dict ``left_label -> right_label``."""
+    n_left = len(graph.left)
+    n_right = len(graph.right)
+    adj = graph.adjacency
+    # The augmenting DFS recursion depth is bounded by the matching size;
+    # make sure CPython's default limit does not bite on large loads.
+    import sys
+
+    needed = n_left + n_right + 100
+    if sys.getrecursionlimit() < needed:
+        sys.setrecursionlimit(needed)
+    match_left = [-1] * n_left
+    match_right = [-1] * n_right
+    dist = [0.0] * n_left
+
+    def bfs() -> bool:
+        frontier = deque()
+        for u in range(n_left):
+            if match_left[u] == -1:
+                dist[u] = 0.0
+                frontier.append(u)
+            else:
+                dist[u] = INF
+        found_free = False
+        while frontier:
+            u = frontier.popleft()
+            for v in adj[u]:
+                w = match_right[v]
+                if w == -1:
+                    found_free = True
+                elif dist[w] == INF:
+                    dist[w] = dist[u] + 1
+                    frontier.append(w)
+        return found_free
+
+    def dfs(u: int) -> bool:
+        for v in adj[u]:
+            w = match_right[v]
+            if w == -1 or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = INF
+        return False
+
+    while bfs():
+        for u in range(n_left):
+            if match_left[u] == -1:
+                dfs(u)
+
+    return {
+        graph.left[u]: graph.right[match_left[u]]
+        for u in range(n_left)
+        if match_left[u] != -1
+    }
+
+
+def konig_vertex_cover(graph: BipartiteGraph) -> Tuple[Set[Hashable], Set[Hashable]]:
+    """Minimum (unweighted) vertex cover via König's theorem.
+
+    Returns ``(left_cover, right_cover)``: the left nodes *not* reachable
+    from unmatched left nodes by alternating paths, plus the right nodes
+    that are reachable.  ``|cover| == |maximum matching|``.
+    """
+    matching = hopcroft_karp(graph)
+    matched_left = {label: matching[label] for label in matching}
+    match_right_label: Dict[Hashable, Hashable] = {v: u for u, v in matching.items()}
+
+    left_ids = {label: i for i, label in enumerate(graph.left)}
+    adj = graph.adjacency
+
+    # Alternating BFS from unmatched left nodes: left→right along
+    # non-matching edges, right→left along matching edges.
+    visited_left: Set[Hashable] = set()
+    visited_right: Set[Hashable] = set()
+    frontier = deque(label for label in graph.left if label not in matched_left)
+    visited_left.update(frontier)
+    while frontier:
+        u_label = frontier.popleft()
+        for v in adj[left_ids[u_label]]:
+            v_label = graph.right[v]
+            if v_label in visited_right:
+                continue
+            if matched_left.get(u_label) == v_label:
+                continue  # matching edges are not used left→right
+            visited_right.add(v_label)
+            partner = match_right_label.get(v_label)
+            if partner is not None and partner not in visited_left:
+                visited_left.add(partner)
+                frontier.append(partner)
+
+    left_cover = {label for label in graph.left if label not in visited_left}
+    right_cover = set(visited_right)
+    return left_cover, right_cover
+
+
+def maximum_matching_size(edges: Iterable[Tuple[Hashable, Hashable]]) -> int:
+    """Convenience: maximum matching cardinality of an edge list."""
+    graph = BipartiteGraph()
+    for u, v in edges:
+        graph.add_edge(("L", u), ("R", v))
+    return len(hopcroft_karp(graph))

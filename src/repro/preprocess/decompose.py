@@ -1,0 +1,43 @@
+"""Preprocessing step 2 (Observation 3.2): decomposition into
+property-disjoint sub-instances.
+
+Build a graph whose nodes are properties, adding a path over each
+query's properties (Algorithm 1, line 4); BFS connected components then
+induce a partition of the queries such that distinct parts share no
+property, and the optimum of the whole instance is the union of the
+parts' optima.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Sequence
+
+from repro.core.properties import Query
+from repro.graph import UndirectedGraph
+
+
+def partition_queries(queries: Sequence[Query]) -> List[List[Query]]:
+    """Partition queries into property-disjoint groups.
+
+    Deterministic: groups are ordered by the first query that touches
+    them, queries keep their input order within a group.
+    """
+    graph = UndirectedGraph()
+    for q in queries:
+        graph.add_path(sorted(q))
+    components = graph.components()
+    component_of: Dict[Hashable, int] = {}
+    for index, component in enumerate(components):
+        for prop in component:
+            component_of[prop] = index
+
+    groups: Dict[int, List[Query]] = {}
+    order: List[int] = []
+    for q in queries:
+        # All properties of a query are in one component by construction.
+        component_index = component_of[next(iter(q))]
+        if component_index not in groups:
+            groups[component_index] = []
+            order.append(component_index)
+        groups[component_index].append(q)
+    return [groups[index] for index in order]

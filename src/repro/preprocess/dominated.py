@@ -1,0 +1,290 @@
+"""Preprocessing step 3 (Observation 3.3): remove classifiers whose
+covering contribution is subsumed by a set of shorter classifiers of at
+most the same cost.
+
+The pass iterates classifiers by increasing length (2 … k).  For each
+classifier ``S`` it evaluates decompositions into two classifiers whose
+union is ``S`` (Algorithm 1, line 8), pricing previously removed (or
+never-available) parts by their own cheapest decomposition — the
+*effective weight* memo.  If the cheapest decomposition costs no more
+than ``W(S)``, ``S`` is removed.
+
+After a pass, queries that are left with a single irredundant cover get
+that cover *selected* (line 10), and the pass repeats for classifiers
+intersecting the selections (line 11) — selection zeroes weights, which
+can enable further removals.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.costs import OverlayCost
+from repro.core.mincover import enumerate_covers
+from repro.core.properties import (
+    Classifier,
+    PropertySet,
+    Query,
+    iter_nonempty_subsets,
+    iter_two_covers,
+    iter_two_partitions,
+)
+
+#: Beyond this classifier length the ``O(3^len)`` full decomposition
+#: enumeration switches to the ``O(2^len)`` disjoint-only family (still a
+#: sound pruning rule, merely less aggressive).
+FULL_ENUMERATION_MAX_LENGTH = 7
+
+#: Forced-cover detection enumerates irredundant covers, which is
+#: exponential in the query length; skip it for longer queries.
+FORCED_COVER_MAX_LENGTH = 5
+
+#: Per-query budget for the uniqueness search; exhausting it means the
+#: query conservatively counts as having multiple covers.
+FORCED_COVER_NODE_BUDGET = 3000
+
+#: Queries with more available candidates than this skip the uniqueness
+#: test outright — a unique cover among that many candidates is
+#: vanishingly rare and the search is the expensive part.
+FORCED_COVER_MAX_CANDIDATES = 24
+
+
+class DominatedPruner:
+    """Stateful step-3 pass over one property-disjoint component."""
+
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        overlay: OverlayCost,
+        max_classifier_length: Optional[int] = None,
+    ):
+        self.queries = list(queries)
+        self.overlay = overlay
+        self.max_classifier_length = max_classifier_length
+        # Effective weight: cheapest way to obtain S's covering power from
+        # shorter classifiers (or S itself).
+        self._effective: Dict[PropertySet, float] = {}
+        self.removed: Set[Classifier] = set()
+        self.forced: List[Classifier] = []
+        self._universe_cache: Optional[List[Classifier]] = None
+        # Decomposition pairs per classifier never change (only their
+        # costs do), so they are materialised once and reused across the
+        # fixpoint re-passes.
+        self._decomposition_cache: Dict[Classifier, Tuple[Tuple[Classifier, Classifier], ...]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _universe(self) -> List[Classifier]:
+        """All candidate classifiers of the component, by increasing
+        length then label, deduplicated.  Computed once — removals are
+        tracked separately and never shrink this list."""
+        if self._universe_cache is None:
+            seen: Set[Classifier] = set()
+            ordered: List[Classifier] = []
+            for q in self.queries:
+                for clf in iter_nonempty_subsets(q, self.max_classifier_length):
+                    if clf not in seen:
+                        seen.add(clf)
+                        ordered.append(clf)
+            # Stable sort by length keeps the deterministic per-query
+            # enumeration order within each length class.
+            ordered.sort(key=len)
+            self._universe_cache = ordered
+        return self._universe_cache
+
+    def effective_weight(self, clf: Classifier) -> float:
+        """Weight of ``clf`` or of its cheapest recorded decomposition."""
+        memo = self._effective.get(clf)
+        direct = self.overlay.cost(clf)
+        if memo is None:
+            return direct
+        return min(memo, direct)
+
+    def _decompositions(self, clf: Classifier):
+        cached = self._decomposition_cache.get(clf)
+        if cached is not None:
+            return cached
+        if len(clf) == 2:
+            # The only pair of proper subsets with union XY is (X, Y).
+            x, y = clf
+            pairs: Tuple[Tuple[Classifier, Classifier], ...] = (
+                (frozenset((x,)), frozenset((y,))),
+            )
+        elif len(clf) <= FULL_ENUMERATION_MAX_LENGTH:
+            pairs = tuple(iter_two_covers(clf))
+        else:
+            pairs = tuple(iter_two_partitions(clf))
+        self._decomposition_cache[clf] = pairs
+        return pairs
+
+    def _cheapest_decomposition(self, clf: Classifier) -> float:
+        best = math.inf
+        memo = self._effective
+        overlay_cost = self.overlay.cost
+        for part_a, part_b in self._decompositions(clf):
+            # Inlined effective_weight: min(memoised decomposition, direct).
+            weight = overlay_cost(part_a)
+            cached = memo.get(part_a)
+            if cached is not None and cached < weight:
+                weight = cached
+            direct_b = overlay_cost(part_b)
+            cached_b = memo.get(part_b)
+            if cached_b is not None and cached_b < direct_b:
+                direct_b = cached_b
+            weight += direct_b
+            if weight < best:
+                best = weight
+        return best
+
+    # ------------------------------------------------------------------
+
+    def _pass_remove(self, targets: Optional[Iterable[Classifier]] = None) -> int:
+        """One removal sweep; returns the number of removals.
+
+        Classifiers are processed by increasing length so shorter parts'
+        effective weights are final before longer classifiers consult
+        them; within a length the order is irrelevant (decompositions use
+        strictly shorter classifiers only).
+        """
+        if targets is None:
+            universe = self._universe()
+        else:
+            universe = sorted(set(targets), key=len)
+        removed_count = 0
+        overlay_cost = self.overlay.cost
+        effective = self._effective
+        for clf in universe:
+            if len(clf) < 2 or clf in self.removed:
+                continue
+            if len(clf) == 2:
+                # Inlined fast path: the only decomposition is (X, Y), and
+                # singletons are never removed by this step, so their
+                # effective weight is just their overlay weight.
+                x, y = clf
+                decomposition_cost = overlay_cost(frozenset((x,))) + overlay_cost(
+                    frozenset((y,))
+                )
+            else:
+                decomposition_cost = self._cheapest_decomposition(clf)
+            direct = overlay_cost(clf)
+            effective[clf] = min(direct, decomposition_cost)
+            if math.isfinite(direct) and decomposition_cost <= direct:
+                self.overlay.remove(clf)
+                self.removed.add(clf)
+                removed_count += 1
+        return removed_count
+
+    def _available_candidates(self, q: Query) -> List[Tuple[Classifier, float]]:
+        pairs = []
+        for clf in iter_nonempty_subsets(q, self.max_classifier_length):
+            weight = self.overlay.cost(clf)
+            if math.isfinite(weight):
+                pairs.append((clf, weight))
+        return pairs
+
+    def _detect_forced_covers(self, uncovered: Sequence[Query]) -> List[Classifier]:
+        """Queries with a single irredundant cover force its classifiers
+        (Algorithm 1, line 10)."""
+        newly_forced: List[Classifier] = []
+        for q in uncovered:
+            if len(q) > FORCED_COVER_MAX_LENGTH:
+                continue
+            if len(q) == 2:
+                unique = self._unique_cover_k2(q)
+            else:
+                candidates = self._available_candidates(q)
+                if len(candidates) > FORCED_COVER_MAX_CANDIDATES:
+                    continue
+                covers = enumerate_covers(
+                    q, candidates, limit=2, node_budget=FORCED_COVER_NODE_BUDGET
+                )
+                unique = covers[0].classifiers if len(covers) == 1 else None
+            if unique is not None:
+                for clf in unique:
+                    if self.overlay.cost(clf) > 0:
+                        self.overlay.select(clf)
+                        newly_forced.append(clf)
+        return newly_forced
+
+    def _unique_cover_k2(self, q: Query) -> Optional[Tuple[Classifier, ...]]:
+        """Closed form of the uniqueness test for length-2 queries: the
+        only irredundant covers are {XY} and {X, Y}."""
+        x, y = sorted(q)
+        singleton_x = frozenset((x,))
+        singleton_y = frozenset((y,))
+        pair = frozenset(q)
+        pair_ok = math.isfinite(self.overlay.cost(pair))
+        singles_ok = math.isfinite(self.overlay.cost(singleton_x)) and math.isfinite(
+            self.overlay.cost(singleton_y)
+        )
+        if pair_ok and not singles_ok:
+            return (pair,)
+        if singles_ok and not pair_ok:
+            return (singleton_x, singleton_y)
+        return None
+
+    # ------------------------------------------------------------------
+
+    def run(self, uncovered: Sequence[Query]) -> Tuple[int, List[Classifier]]:
+        """Run removal + forced-cover detection to a fixpoint.
+
+        Returns ``(total removals, forced classifiers)``.  Per the paper,
+        re-passes only re-examine classifiers that intersect a selection
+        (weights only ever drop to 0 on selection), and re-detection only
+        re-examines queries touching the affected properties — the rest
+        cannot have changed.
+        """
+        queries_by_property: Dict[str, List[Query]] = {}
+        for q in uncovered:
+            for prop in q:
+                queries_by_property.setdefault(prop, []).append(q)
+        alive: Dict[Query, None] = dict.fromkeys(uncovered)
+
+        total_removed = self._pass_remove()
+        pending: Sequence[Query] = list(alive)
+        while True:
+            forced_now = self._detect_forced_covers(pending)
+            if not forced_now:
+                break
+            self.forced.extend(forced_now)
+            affected_props = set().union(*forced_now)
+            # Queries sharing a property with the selections are the only
+            # ones whose cover options changed; of those, the ones the
+            # selections fully covered leave the game entirely.
+            affected: List[Query] = []
+            seen_affected = set()
+            for prop in affected_props:
+                for q in queries_by_property.get(prop, ()):  # noqa: B905
+                    if q in alive and q not in seen_affected:
+                        seen_affected.add(q)
+                        affected.append(q)
+            still_uncovered: List[Query] = []
+            for q in affected:
+                if self._covered_by_selected(q):
+                    del alive[q]
+                else:
+                    still_uncovered.append(q)
+            # Re-examine only classifiers of still-uncovered queries:
+            # removals among covered queries' classifiers can never
+            # influence the residual problem.
+            touched = set()
+            for q in still_uncovered:
+                for clf in iter_nonempty_subsets(q, self.max_classifier_length):
+                    if clf & affected_props and clf not in self.removed:
+                        touched.add(clf)
+                        # Invalidate memo so the zeroed selections are seen.
+                        self._effective.pop(clf, None)
+            total_removed += self._pass_remove(touched)
+            pending = still_uncovered
+        return total_removed, self.forced
+
+    def _covered_by_selected(self, q: Query) -> bool:
+        """Whether zero-weight (selected) classifiers already cover ``q``."""
+        remaining = set(q)
+        for clf in iter_nonempty_subsets(q, self.max_classifier_length):
+            if self.overlay.cost(clf) == 0:
+                remaining -= clf
+                if not remaining:
+                    return True
+        return False

@@ -1,0 +1,79 @@
+"""Preprocessing step 4 (Observation 3.4), k = 2 only: eliminate
+singleton classifiers dominated by the pair classifiers around them.
+
+For a singleton classifier ``X``, let ``S_X`` be every available length-2
+classifier containing ``x``.  If ``W(S_X) ≤ W(X)``, some optimal solution
+takes all of ``S_X`` instead of ``X`` (each pair fully covers its query,
+while ``X`` still needs a partner per query), so we select ``S_X`` and
+remove ``X``.  Selections zero weights, which can flip the condition for
+neighbouring singletons — the chain reaction of Algorithm 1, line 13.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.costs import OverlayCost
+from repro.core.properties import Classifier, Query
+
+
+def prune_k2_singletons(
+    queries: Sequence[Query],
+    overlay: OverlayCost,
+) -> Tuple[Set[Classifier], List[Classifier]]:
+    """Run step 4 over a residual component whose queries all have length 2.
+
+    Returns ``(removed singletons, newly selected pair classifiers)``.
+    Queries of other lengths cause a ``ValueError`` — the caller gates on
+    ``k == 2``.
+    """
+    for q in queries:
+        if len(q) != 2:
+            raise ValueError("step 4 applies only to components with all queries of length 2")
+
+    # Pair classifiers around each property (only those that are actual
+    # queries are in C_Q for k = 2).
+    pairs_of: Dict[str, List[Classifier]] = {}
+    for q in queries:
+        pair = frozenset(q)
+        for prop in q:
+            pairs_of.setdefault(prop, []).append(pair)
+
+    removed: Set[Classifier] = set()
+    forced: List[Classifier] = []
+    # Work-list of properties to (re)check.
+    pending: List[str] = sorted(pairs_of)
+    pending_set = set(pending)
+
+    while pending:
+        prop = pending.pop()
+        pending_set.discard(prop)
+        singleton = frozenset((prop,))
+        if singleton in removed:
+            continue
+        weight_singleton = overlay.cost(singleton)
+        if not math.isfinite(weight_singleton):
+            continue
+        neighbourhood = [
+            pair for pair in pairs_of[prop] if math.isfinite(overlay.cost(pair))
+        ]
+        if len(neighbourhood) < len(pairs_of[prop]):
+            # Some query around x has no available pair classifier, so X may
+            # be irreplaceable; Observation 3.4 requires the full set S_X.
+            continue
+        total = sum(overlay.cost(pair) for pair in neighbourhood)
+        if total <= weight_singleton:
+            overlay.remove(singleton)
+            removed.add(singleton)
+            for pair in neighbourhood:
+                if overlay.cost(pair) > 0:
+                    overlay.select(pair)
+                    forced.append(pair)
+                # Re-check the partner property of every selected pair.
+                for other in pair:
+                    if other != prop and other not in pending_set:
+                        pending.append(other)
+                        pending_set.add(other)
+
+    return removed, forced

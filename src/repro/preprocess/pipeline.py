@@ -1,0 +1,213 @@
+"""Algorithm 1: the complete preprocessing pipeline.
+
+Runs the four pruning steps over an :class:`~repro.core.instance.MC3Instance`
+and produces a :class:`PreprocessResult` holding
+
+* the *forced* classifiers (selected by the pruning rules — they appear
+  in at least one optimal solution and are paid for up front),
+* the property-disjoint residual sub-instances still to be solved, each
+  priced by an :class:`~repro.core.costs.OverlayCost` in which forced
+  classifiers cost 0 and removed classifiers cost ``∞``, and
+* a :class:`~repro.preprocess.report.PreprocessReport` of what happened.
+
+Every solver in :mod:`repro.solvers` starts here (the paper's
+Algorithms 2 and 3 both begin with "Run preprocessing procedure").
+The pipeline preserves at least one optimal solution (Observations
+3.1–3.4), so the k = 2 solver remains exact after it.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.costs import CostModel, OverlayCost
+from repro.core.coverage import CoverageChecker
+from repro.core.instance import MC3Instance
+from repro.core.properties import Classifier, Query
+from repro.core.solution import Solution
+from repro.exceptions import UncoverableQueryError
+from repro.preprocess.decompose import partition_queries
+from repro.preprocess.dominated import DominatedPruner
+from repro.preprocess.k2_prune import prune_k2_singletons
+from repro.preprocess.report import PreprocessReport
+
+ALL_STEPS: Tuple[int, ...] = (1, 2, 3, 4)
+
+
+class _InstanceCost(CostModel):
+    """Adapter exposing ``MC3Instance.weight`` (which honours the
+    instance-level classifier length cap) as a cost model.
+
+    Weights are memoised: lazy models (hash costs) pay a digest per
+    lookup and preprocessing queries the same classifiers many times.
+    """
+
+    def __init__(self, instance: MC3Instance):
+        self._instance = instance
+        self._cache: Dict[Classifier, float] = {}
+
+    def cost(self, clf: Classifier) -> float:
+        cached = self._cache.get(clf)
+        if cached is None:
+            cached = self._instance.weight(clf)
+            self._cache[clf] = cached
+        return cached
+
+
+class PreprocessResult:
+    """Outcome of running Algorithm 1 on an instance."""
+
+    def __init__(
+        self,
+        instance: MC3Instance,
+        forced: FrozenSet[Classifier],
+        overlay: OverlayCost,
+        components: List[MC3Instance],
+        report: PreprocessReport,
+    ):
+        self.instance = instance
+        self.forced = forced
+        self.overlay = overlay
+        self.components = components
+        self.report = report
+        self.base_cost = sum(instance.weight(clf) for clf in forced)
+
+    @property
+    def fully_covered(self) -> bool:
+        """Whether preprocessing alone covered the entire query load."""
+        return not self.components
+
+    def finalize(self, residual_classifiers: Iterable[Classifier] = ()) -> Solution:
+        """Combine the forced selections with a residual solution into a
+        full solution priced against the *original* instance."""
+        union = set(self.forced)
+        union.update(residual_classifiers)
+        return Solution.from_instance(union, self.instance)
+
+
+def preprocess(
+    instance: MC3Instance,
+    steps: Sequence[int] = ALL_STEPS,
+) -> PreprocessResult:
+    """Run (a subset of) Algorithm 1.
+
+    ``steps`` selects which pruning steps run — the ablation benchmarks
+    disable them individually.  Step 4 runs only on residual components
+    whose queries all have length exactly 2 (its precondition).
+    """
+    started = time.perf_counter()
+    step_set = set(steps)
+    unknown = step_set - set(ALL_STEPS)
+    if unknown:
+        raise ValueError(f"unknown preprocessing steps: {sorted(unknown)}")
+
+    report = PreprocessReport(steps_run=tuple(sorted(step_set)))
+    overlay = OverlayCost(_InstanceCost(instance))
+    forced: Dict[Classifier, None] = {}  # insertion-ordered set
+
+    def select(clf: Classifier) -> None:
+        overlay.select(clf)
+        forced.setdefault(clf, None)
+
+    # ------------------------------------------------------------------
+    # Step 1: singleton queries and zero-weight classifiers.
+    # ------------------------------------------------------------------
+    if 1 in step_set:
+        for q in instance.queries:
+            if len(q) == 1:
+                if not math.isfinite(instance.weight(q)):
+                    raise UncoverableQueryError(q)
+                select(q)
+                report.singleton_queries_selected += 1
+        scan_zero = _may_have_zero_weights(instance)
+        if scan_zero:
+            seen: Set[Classifier] = set()
+            for q in instance.queries:
+                for clf in instance.candidates(q):
+                    if clf not in seen:
+                        seen.add(clf)
+                        if instance.weight(clf) == 0:
+                            select(clf)
+                            report.zero_weight_selected += 1
+
+    checker = CoverageChecker(instance.queries)
+    uncovered = checker.uncovered_queries(forced) if forced else list(instance.queries)
+    report.queries_covered_step1 = instance.n - len(uncovered)
+
+    # ------------------------------------------------------------------
+    # Step 2: decomposition into property-disjoint components.
+    # ------------------------------------------------------------------
+    if 2 in step_set:
+        groups = partition_queries(uncovered) if uncovered else []
+    else:
+        groups = [list(uncovered)] if uncovered else []
+    report.num_components = len(groups)
+
+    # ------------------------------------------------------------------
+    # Steps 3 and 4, per component.
+    # ------------------------------------------------------------------
+    for group in groups:
+        if 3 in step_set:
+            pruner = DominatedPruner(group, overlay, instance.max_classifier_length)
+            removed_count, forced_now = pruner.run(group)
+            report.classifiers_removed_step3 += removed_count
+            report.forced_covers_step3 += len(forced_now)
+            for clf in forced_now:
+                forced.setdefault(clf, None)
+        if 4 in step_set and group and all(len(q) == 2 for q in group):
+            removed_singletons, forced_pairs = prune_k2_singletons(group, overlay)
+            report.singletons_removed_step4 += len(removed_singletons)
+            for clf in forced_pairs:
+                forced.setdefault(clf, None)
+
+    # ------------------------------------------------------------------
+    # Residual components: queries still uncovered after all selections.
+    # ------------------------------------------------------------------
+    final_uncovered = checker.uncovered_queries(forced) if forced else uncovered
+    report.queries_covered_step34 = len(uncovered) - len(final_uncovered)
+
+    components: List[MC3Instance] = []
+    residual_groups = (
+        partition_queries(final_uncovered) if 2 in step_set else (
+            [final_uncovered] if final_uncovered else []
+        )
+    )
+    for index, group in enumerate(residual_groups):
+        if not group:
+            continue
+        components.append(
+            MC3Instance(
+                group,
+                overlay,
+                max_classifier_length=instance.max_classifier_length,
+                name=f"{instance.name}#c{index}" if instance.name else f"component{index}",
+            )
+        )
+
+    report.elapsed_seconds = time.perf_counter() - started
+    return PreprocessResult(
+        instance,
+        frozenset(forced),
+        overlay,
+        components,
+        report,
+    )
+
+
+def _may_have_zero_weights(instance: MC3Instance) -> bool:
+    """Skip the zero-weight scan when the cost model provably has none.
+
+    Lazy models used by the large synthetic loads draw costs from
+    ``[1, 50]``; scanning millions of candidates for zeros would be pure
+    waste there.
+    """
+    model = instance.cost
+    low = getattr(model, "low", None)
+    if low is not None and low > 0:
+        return False
+    value = getattr(model, "value", None)
+    if value is not None and value > 0:
+        return False
+    return True

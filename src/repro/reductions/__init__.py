@@ -1,0 +1,26 @@
+"""Problem reductions: MC³(k=2) → bipartite WVC → max-flow (Theorem 4.1 /
+Theorem 2.3), MC³ → WSC (Section 5.2), and the SC → MC³ hardness
+constructions (Theorems 5.1, 5.2) used as test oracles."""
+
+from repro.reductions.mc3_to_wsc import mc3_to_wsc, wsc_solution_to_mc3
+from repro.reductions.mc3_to_wvc import BipartiteWVC, mc3_to_bipartite_wvc
+from repro.reductions.sc_to_mc3 import (
+    ANCHOR_PROPERTY,
+    mc3_solution_to_sc_theorem51,
+    sc_to_mc3_theorem51,
+    sc_to_mc3_theorem52,
+)
+from repro.reductions.wvc_to_flow import solve_bipartite_wvc, wvc_to_flow_network
+
+__all__ = [
+    "ANCHOR_PROPERTY",
+    "BipartiteWVC",
+    "mc3_solution_to_sc_theorem51",
+    "mc3_to_bipartite_wvc",
+    "mc3_to_wsc",
+    "sc_to_mc3_theorem51",
+    "sc_to_mc3_theorem52",
+    "solve_bipartite_wvc",
+    "wsc_solution_to_mc3",
+    "wvc_to_flow_network",
+]

@@ -1,0 +1,62 @@
+"""Section 5.2: the reduction from MC³ to Weighted Set Cover.
+
+For every query ``q`` and property ``p ∈ q`` the universe gets a distinct
+element ``(p, q)``.  Every finite-weight classifier ``S`` becomes a set
+containing element ``(x, q)`` iff ``x ∈ S`` and ``S ⊆ q`` — i.e. the
+classifier covers its properties *in every query it fits inside*.  Set
+costs are classifier weights; solutions translate back one-to-one and
+cost-for-cost (the instances are "completely analogous", Figure 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.core.instance import MC3Instance
+from repro.core.properties import Classifier
+from repro.core.solution import Solution
+from repro.exceptions import UncoverableQueryError
+from repro.setcover import WSCInstance, WSCSolution
+
+
+def mc3_to_wsc(instance: MC3Instance) -> WSCInstance:
+    """Build the WSC instance of Section 5.2 for an MC³ instance.
+
+    Elements are ``(property, query_index)`` pairs; set labels are the
+    classifiers themselves.  Raises :class:`UncoverableQueryError` if a
+    query's elements cannot all be covered (equivalently, the query has
+    no finite-cost cover).
+    """
+    wsc = WSCInstance()
+    # Register all elements first so uncoverable ones are detectable.
+    for query_index, q in enumerate(instance.queries):
+        for prop in sorted(q):
+            wsc.add_element((prop, query_index))
+
+    members: Dict[Classifier, List[Tuple[str, int]]] = {}
+    for query_index, q in enumerate(instance.queries):
+        for clf in instance.candidates(q):
+            bucket = members.setdefault(clf, [])
+            for prop in clf:
+                bucket.append((prop, query_index))
+
+    for clf in sorted(members, key=lambda c: (len(c), tuple(sorted(c)))):
+        weight = instance.weight(clf)
+        if math.isfinite(weight):
+            wsc.add_set(clf, members[clf], weight)
+
+    try:
+        wsc.validate_coverable()
+    except UncoverableQueryError as exc:
+        # Re-raise with the offending *query* rather than the WSC element.
+        prop, query_index = next(iter(exc.query))
+        raise UncoverableQueryError(instance.queries[query_index]) from exc
+    return wsc
+
+
+def wsc_solution_to_mc3(wsc: WSCInstance, solution: WSCSolution, instance: MC3Instance) -> Solution:
+    """Translate a WSC solution back to classifiers (set labels) and price
+    it against the MC³ instance; costs agree by construction."""
+    classifiers = [wsc.set_label(set_id) for set_id in solution.set_ids]
+    return Solution.from_instance(classifiers, instance)

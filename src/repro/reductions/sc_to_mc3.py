@@ -1,0 +1,128 @@
+"""The hardness reductions of Theorems 5.1 and 5.2: Set Cover → MC³.
+
+These constructions drive the paper's inapproximability results; here
+they serve as *test oracles*: a set-cover instance and its MC³ image
+must have equal optimal costs, and approximate solutions must translate
+back at equal cost.  They also make handy generators of structured hard
+instances for stress tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.costs import TableCost
+from repro.core.instance import MC3Instance
+from repro.core.properties import Classifier
+from repro.core.solution import Solution
+from repro.exceptions import ReductionError
+
+#: The shared extra property added to every query in the Theorem 5.1
+#: construction.
+ANCHOR_PROPERTY = "__e__"
+
+
+def sc_to_mc3_theorem51(
+    sets: Sequence[Iterable[str]],
+    universe: Sequence[str],
+    set_names: Sequence[str] = (),
+) -> Tuple[MC3Instance, Dict[str, int]]:
+    """Theorem 5.1 construction.
+
+    Every set becomes a *set-property*; every element becomes a query
+    containing the properties of the sets it belongs to plus the shared
+    anchor property ``e``.  Length-2 classifiers over two set-properties
+    cost 0; length-2 classifiers pairing ``e`` with a set-property cost
+    1; nothing else is available.  A minimum MC³ cover then picks, per
+    cost unit, one ``(set, e)`` classifier — i.e. one set — such that the
+    chosen sets cover all elements.
+
+    Returns the instance and a mapping ``set-property name -> set index``
+    for translating solutions back.
+
+    Elements belonging to exactly the same sets must be merged by the
+    caller (the paper assumes distinct queries); duplicates raise.
+    """
+    names = list(set_names) if set_names else [f"s{i}" for i in range(len(sets))]
+    if len(names) != len(sets):
+        raise ReductionError("set_names must match sets in length")
+    membership: Dict[str, List[int]] = {element: [] for element in universe}
+    for set_index, members in enumerate(sets):
+        for element in members:
+            if element not in membership:
+                raise ReductionError(f"set {set_index} contains unknown element {element!r}")
+            membership[element].append(set_index)
+
+    queries: List[FrozenSet[str]] = []
+    seen: Set[FrozenSet[str]] = set()
+    for element in universe:
+        owners = membership[element]
+        if not owners:
+            raise ReductionError(f"element {element!r} belongs to no set (uncoverable)")
+        if len(owners) < 2:
+            # Theorem 5.1 assumes f > 1; an element in a single set would
+            # produce a query of length 2 whose only cover is forced.
+            # Allowed, but then the query is (set, e) with cost 1 forced.
+            pass
+        q = frozenset([names[i] for i in owners] + [ANCHOR_PROPERTY])
+        if q in seen:
+            raise ReductionError(
+                f"element {element!r} duplicates another element's set membership; "
+                "merge identical elements first"
+            )
+        seen.add(q)
+        queries.append(q)
+
+    costs: Dict[FrozenSet[str], float] = {}
+    for q in queries:
+        set_props = sorted(q - {ANCHOR_PROPERTY})
+        for i, a in enumerate(set_props):
+            costs[frozenset((a, ANCHOR_PROPERTY))] = 1.0
+            for b in set_props[i + 1 :]:
+                costs[frozenset((a, b))] = 0.0
+
+    instance = MC3Instance(queries, TableCost(costs), name="theorem5.1")
+    name_to_index = {name: index for index, name in enumerate(names)}
+    return instance, name_to_index
+
+
+def mc3_solution_to_sc_theorem51(
+    solution: Solution, name_to_index: Dict[str, int]
+) -> Set[int]:
+    """Translate an MC³ solution of a Theorem 5.1 instance back to set
+    indices: every selected ``(set-property, e)`` classifier contributes
+    its set."""
+    chosen: Set[int] = set()
+    for clf in solution.classifiers:
+        if ANCHOR_PROPERTY in clf and len(clf) == 2:
+            (prop,) = clf - {ANCHOR_PROPERTY}
+            chosen.add(name_to_index[prop])
+    return chosen
+
+
+def sc_to_mc3_theorem52(
+    sets: Sequence[Iterable[str]],
+    universe: Sequence[str],
+) -> Tuple[MC3Instance, List[Classifier]]:
+    """Theorem 5.2 construction: one query containing a property per
+    element; one unit-cost classifier per set.
+
+    Returns the instance and the classifier list (index-aligned with
+    ``sets``) for translating solutions back.  The MC³ optimum equals
+    the (unweighted) set-cover optimum.
+    """
+    universe_set = set(universe)
+    if not universe_set:
+        raise ReductionError("empty universe")
+    classifiers: List[Classifier] = []
+    costs: Dict[FrozenSet[str], float] = {}
+    for index, members in enumerate(sets):
+        clf = frozenset(members)
+        if not clf:
+            raise ReductionError(f"set {index} is empty")
+        if not clf <= universe_set:
+            raise ReductionError(f"set {index} contains unknown elements")
+        classifiers.append(clf)
+        costs[clf] = 1.0
+    instance = MC3Instance([frozenset(universe_set)], TableCost(costs), name="theorem5.2")
+    return instance, classifiers

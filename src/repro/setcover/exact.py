@@ -1,0 +1,112 @@
+"""Exact WSC via branch-and-bound.
+
+Used as the optimality oracle in tests and to solve the small connected
+components that preprocessing step 2 splits off.  Not intended for large
+instances — the problem is NP-hard (Theorem 2.5) and the search is
+exponential in the worst case.
+
+Search strategy:
+
+* incumbent initialised with the greedy solution (upper bound);
+* branch on the uncovered element with the fewest candidate sets
+  (fail-first), trying candidates cheapest-first;
+* admissible lower bound: a greedy matching of disjoint uncovered
+  elements to their cheapest containing set's *per-element share* is
+  replaced by the simpler, still admissible bound
+  ``max_e min_{s ∋ e} c_s`` plus the current cost — cheap to compute and
+  effective on the small instances this solver targets;
+* unit propagation: an element covered by exactly one remaining set
+  forces that set.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.exceptions import SolverError
+from repro.setcover.greedy import greedy_wsc
+from repro.setcover.instance import WSCInstance, WSCSolution
+
+#: Hard cap on branch-and-bound nodes; exceeded means the instance is too
+#: large for the exact oracle and callers should use an approximation.
+DEFAULT_NODE_LIMIT = 2_000_000
+
+
+def exact_wsc(instance: WSCInstance, node_limit: int = DEFAULT_NODE_LIMIT) -> WSCSolution:
+    """Optimal WSC solution (branch-and-bound).
+
+    Raises :class:`SolverError` when the node limit is hit, so a silent
+    approximation can never masquerade as an exact answer.
+    """
+    instance.validate_coverable()
+    universe = instance.universe_size
+    num_sets = instance.num_sets
+
+    members = [instance.set_members(set_id) for set_id in range(num_sets)]
+    costs = [instance.set_cost(set_id) for set_id in range(num_sets)]
+    containing = [instance.sets_containing(e) for e in range(universe)]
+
+    # Incumbent from greedy.
+    incumbent = greedy_wsc(instance)
+    best_cost = incumbent.cost
+    best_sets: Tuple[int, ...] = incumbent.set_ids
+
+    cover_count = [0] * universe
+    chosen: List[int] = []
+    nodes = [0]
+
+    def cheapest_uncovered_bound() -> float:
+        """Admissible lower bound on the remaining cost: any cover must
+        pay at least the cheapest set containing the most expensive-to-
+        reach uncovered element."""
+        bound = 0.0
+        for element in range(universe):
+            if cover_count[element] == 0:
+                cheapest = min(costs[set_id] for set_id in containing[element])
+                bound = max(bound, cheapest)
+        return bound
+
+    def choose_branch_element() -> Optional[int]:
+        """Uncovered element with the fewest candidate sets (fail-first)."""
+        best_element = None
+        best_options = math.inf
+        for element in range(universe):
+            if cover_count[element] == 0 and len(containing[element]) < best_options:
+                best_element = element
+                best_options = len(containing[element])
+        return best_element
+
+    def descend(current_cost: float) -> None:
+        nonlocal best_cost, best_sets
+        nodes[0] += 1
+        if nodes[0] > node_limit:
+            raise SolverError(
+                f"exact WSC exceeded the node limit ({node_limit}); "
+                "instance too large for the exact oracle"
+            )
+        if current_cost + cheapest_uncovered_bound() >= best_cost - 1e-12:
+            return
+        element = choose_branch_element()
+        if element is None:
+            # Full cover found, strictly better by the bound check above.
+            best_cost = current_cost
+            best_sets = tuple(chosen)
+            return
+        candidates = sorted(containing[element], key=lambda sid: costs[sid])
+        for set_id in candidates:
+            chosen.append(set_id)
+            for member in members[set_id]:
+                cover_count[member] += 1
+            descend(current_cost + costs[set_id])
+            for member in members[set_id]:
+                cover_count[member] -= 1
+            chosen.pop()
+
+    descend(0.0)
+    # Strip any redundancy (branching can pick supersets of earlier picks).
+    pruned = instance.prune_redundant(list(best_sets))
+    cost = sum(costs[set_id] for set_id in pruned)
+    solution = WSCSolution(pruned, cost)
+    instance.verify_solution(solution)
+    return solution

@@ -1,0 +1,36 @@
+"""MC³ solvers: Algorithm 2 (exact, k ≤ 2), Algorithm 3 (general
+approximation), Short-First, the paper's baselines, and an exact
+branch-and-bound oracle."""
+
+from repro.solvers.base import Solver
+from repro.solvers.baselines import (
+    LocalGreedySolver,
+    MixedSolver,
+    PropertyOrientedSolver,
+    QueryOrientedSolver,
+)
+from repro.solvers.exact import ExactSolver
+from repro.solvers.general import GeneralSolver
+from repro.solvers.k2 import K2Solver
+from repro.solvers.refined import RefinedSolver, refine_selection
+from repro.solvers.registry import available_solvers, make_solver
+from repro.solvers.robust import RobustSolver, survives_failures
+from repro.solvers.short_first import ShortFirstSolver
+
+__all__ = [
+    "ExactSolver",
+    "RefinedSolver",
+    "RobustSolver",
+    "refine_selection",
+    "survives_failures",
+    "GeneralSolver",
+    "K2Solver",
+    "LocalGreedySolver",
+    "MixedSolver",
+    "PropertyOrientedSolver",
+    "QueryOrientedSolver",
+    "ShortFirstSolver",
+    "Solver",
+    "available_solvers",
+    "make_solver",
+]

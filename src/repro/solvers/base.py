@@ -1,0 +1,40 @@
+"""Common solver interface.
+
+A :class:`Solver` takes an :class:`~repro.core.instance.MC3Instance` and
+produces a :class:`~repro.core.solution.SolverResult`.  The base class
+handles timing and (by default) independent feasibility verification of
+every output, so a buggy solver fails loudly instead of reporting a
+bogus cost.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+from repro.core.instance import MC3Instance
+from repro.core.solution import Solution, SolverResult
+
+
+class Solver(ABC):
+    """Base class for MC³ solvers."""
+
+    #: Short identifier used by the registry and experiment reports.
+    name: str = "solver"
+
+    def __init__(self, verify: bool = True):
+        self.verify = verify
+
+    def solve(self, instance: MC3Instance) -> SolverResult:
+        """Solve the instance; timed and (optionally) verified."""
+        started = time.perf_counter()
+        solution, details = self._solve(instance)
+        elapsed = time.perf_counter() - started
+        if self.verify:
+            solution.verify(instance)
+        return SolverResult(solution, self.name, elapsed, details)
+
+    @abstractmethod
+    def _solve(self, instance: MC3Instance) -> "tuple[Solution, Dict[str, object]]":
+        """Produce a solution and a free-form details dict."""

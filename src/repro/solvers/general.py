@@ -1,0 +1,147 @@
+"""Algorithm 3: the approximation solver for the general MC³ problem.
+
+Pipeline per the paper: preprocessing (Algorithm 1) → reduction to
+Weighted Set Cover (Section 5.2) → run *both* the greedy
+``(ln Δ + 1)``-approximation and an ``f``-approximation, keep the
+cheaper output.  Combined guarantee:
+``min{ln I + ln(k-1) + 1, 2^(k-1)}`` (Theorem 5.3).
+
+The ``f``-approximation is LP rounding when the constraint matrix is
+small enough for SciPy's HiGHS backend, and the primal–dual scheme
+(identical guarantee, linear time) beyond that threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.core.instance import MC3Instance
+from repro.core.properties import Classifier
+from repro.core.solution import Solution
+from repro.preprocess import ALL_STEPS, preprocess
+from repro.reductions import mc3_to_wsc
+from repro.setcover import (
+    DEFAULT_SIZE_LIMIT,
+    greedy_wsc,
+    lp_nonzeros,
+    lp_rounding_wsc,
+    primal_dual_wsc,
+)
+from repro.solvers.base import Solver
+
+
+class GeneralSolver(Solver):
+    """Approximation solver for arbitrary query lengths (``MC3[G]``).
+
+    Parameters
+    ----------
+    wsc_method:
+        ``"best_of"`` (paper's Algorithm 3: greedy + f-approximation,
+        keep the cheaper), or ``"greedy"`` / ``"lp"`` / ``"primal_dual"``
+        alone — the latter three power the WSC ablation bench.
+    lp_size_limit:
+        Constraint-matrix nonzero budget above which ``best_of``/
+        ``lp`` fall back to primal–dual.  ``None`` removes the cap.
+    preprocess_steps:
+        Algorithm 1 steps to run first; empty disables preprocessing
+        (Figures 3e/3f measure exactly this difference).
+    prune:
+        Apply the redundancy post-pass to the f-approximation output
+        (extension beyond the paper; can only lower the cost).
+    dispatch_k2:
+        Solve property-disjoint components whose queries all have length
+        ≤ 2 with the *exact* max-flow path instead of the WSC
+        approximation (extension beyond the paper).  Because components
+        share no properties, composing per-component optima is exact
+        (Observation 3.2), so this can only improve the output — it
+        subsumes Short-First's idea at the component level without its
+        cross-interaction loss.
+    """
+
+    name = "mc3-general"
+
+    def __init__(
+        self,
+        wsc_method: str = "best_of",
+        lp_size_limit: Optional[int] = DEFAULT_SIZE_LIMIT,
+        preprocess_steps: Sequence[int] = ALL_STEPS,
+        prune: bool = False,
+        dispatch_k2: bool = False,
+        verify: bool = True,
+    ):
+        super().__init__(verify=verify)
+        self.wsc_method = wsc_method
+        self.lp_size_limit = lp_size_limit
+        self.preprocess_steps = tuple(preprocess_steps)
+        self.prune = prune
+        self.dispatch_k2 = dispatch_k2
+
+    def _solve(self, instance: MC3Instance) -> Tuple[Solution, Dict[str, object]]:
+        prep = preprocess(instance, steps=self.preprocess_steps)
+        selected: Set[Classifier] = set()
+        wins = {"greedy": 0, "f_approx": 0}
+        f_mode_used = set()
+        k2_dispatched = 0
+        for component in prep.components:
+            if self.dispatch_k2 and component.max_query_length <= 2:
+                selected |= self._solve_component_k2(component)
+                k2_dispatched += 1
+                continue
+            component_selection, winner, f_mode = self._solve_component(component)
+            selected |= component_selection
+            if winner:
+                wins[winner] += 1
+            if f_mode:
+                f_mode_used.add(f_mode)
+        solution = prep.finalize(selected)
+        details: Dict[str, object] = {
+            "preprocess": prep.report.as_dict(),
+            "components": len(prep.components),
+            "wsc_method": self.wsc_method,
+            "wins": wins,
+            "f_approximation_modes": sorted(f_mode_used),
+            "k2_dispatched": k2_dispatched,
+        }
+        return solution, details
+
+    def _solve_component_k2(self, component: MC3Instance) -> Set[Classifier]:
+        """Exact per-component solve through the Theorem 4.1 reduction;
+        local import avoids a circular dependency with the k2 module."""
+        from repro.solvers.k2 import K2Solver
+
+        solver = K2Solver(preprocess_steps=(), verify=False)
+        return set(solver.solve(component).solution.classifiers)
+
+    def _solve_component(
+        self, component: MC3Instance
+    ) -> Tuple[Set[Classifier], Optional[str], Optional[str]]:
+        wsc = mc3_to_wsc(component)
+
+        def f_approx() -> Tuple[object, str]:
+            if self.lp_size_limit is not None and lp_nonzeros(wsc) > self.lp_size_limit:
+                return primal_dual_wsc(wsc, prune=self.prune), "primal_dual"
+            return lp_rounding_wsc(wsc, prune=self.prune), "lp"
+
+        winner: Optional[str] = None
+        f_mode: Optional[str] = None
+        if self.wsc_method == "greedy":
+            wsc_solution = greedy_wsc(wsc)
+        elif self.wsc_method == "bucket_greedy":
+            from repro.setcover import bucket_greedy_wsc
+
+            wsc_solution = bucket_greedy_wsc(wsc)
+        elif self.wsc_method == "lp":
+            wsc_solution, f_mode = f_approx()
+        elif self.wsc_method == "primal_dual":
+            wsc_solution = primal_dual_wsc(wsc, prune=self.prune)
+            f_mode = "primal_dual"
+        else:  # "best_of" — Algorithm 3 lines 3-5
+            greedy_solution = greedy_wsc(wsc)
+            f_solution, f_mode = f_approx()
+            if greedy_solution.cost <= f_solution.cost:
+                wsc_solution, winner = greedy_solution, "greedy"
+            else:
+                wsc_solution, winner = f_solution, "f_approx"
+
+        classifiers = {wsc.set_label(set_id) for set_id in wsc_solution.set_ids}
+        return classifiers, winner, f_mode

@@ -1,0 +1,126 @@
+"""Solution refinement: Algorithm 3 plus a remove-and-repair local search.
+
+The WSC approximations occasionally keep a classifier whose queries
+could be re-covered more cheaply by combinations that only make sense
+*given the rest of the selection* — exactly the blind spot of greedy's
+one-way selection.  The refinement pass tries, for every selected
+classifier ``c``, to remove it and repair each query it was serving via
+the exact single-query DP (all other selected classifiers priced at 0);
+if the repair costs less than ``W(c)``, the move is kept.
+
+This is an extension beyond the paper (its experiments stop at
+Algorithm 3); it preserves feasibility by construction, never increases
+cost, and inherits Algorithm 3's approximation guarantee trivially.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.costs import OverlayCost
+from repro.core.instance import MC3Instance
+from repro.core.mincover import min_cover
+from repro.core.properties import Classifier, Query
+from repro.core.solution import Solution
+from repro.solvers.base import Solver
+from repro.solvers.general import GeneralSolver
+
+
+def refine_selection(
+    instance: MC3Instance,
+    selection: Set[Classifier],
+    max_rounds: int = 5,
+) -> Tuple[Set[Classifier], int]:
+    """Remove-and-repair local search; returns (selection, moves made)."""
+    selected = set(selection)
+    moves = 0
+
+    def queries_needing(clf: Classifier, current: Set[Classifier]) -> List[Query]:
+        """Queries that lose coverage if ``clf`` is removed."""
+        broken = []
+        others = current - {clf}
+        for q in instance.queries:
+            if not clf <= q:
+                continue
+            remaining = set(q)
+            for other in others:
+                if other <= q:
+                    remaining -= other
+            if remaining:
+                broken.append(q)
+        return broken
+
+    for _round in range(max_rounds):
+        improved = False
+        for clf in sorted(selected, key=lambda c: -instance.weight(c)):
+            weight = instance.weight(clf)
+            if weight <= 0:
+                continue
+            broken = queries_needing(clf, selected)
+            # Repair each broken query with the cheapest residual cover,
+            # pricing already-selected classifiers (minus clf) at 0.
+            overlay = OverlayCost(instance.cost)
+            for other in selected:
+                if other != clf:
+                    overlay.select(other)
+            repair: Set[Classifier] = set()
+            repair_cost = 0.0
+            feasible = True
+            for q in broken:
+                pairs = []
+                for candidate in instance.candidates(q):
+                    if candidate == clf:
+                        continue
+                    cost = overlay.cost(candidate)
+                    if candidate in repair:
+                        cost = 0.0
+                    if math.isfinite(cost):
+                        pairs.append((candidate, cost))
+                cover = min_cover(q, pairs, required=False)
+                if cover is None:
+                    feasible = False
+                    break
+                for picked in cover.classifiers:
+                    if picked not in repair and overlay.cost(picked) > 0:
+                        repair.add(picked)
+                repair_cost = sum(instance.weight(c) for c in repair)
+                if repair_cost >= weight:
+                    feasible = False
+                    break
+            if not feasible or repair_cost >= weight - 1e-12:
+                continue
+            selected.discard(clf)
+            selected |= repair
+            moves += 1
+            improved = True
+        if not improved:
+            break
+    return selected, moves
+
+
+class RefinedSolver(Solver):
+    """Algorithm 3 followed by remove-and-repair refinement."""
+
+    name = "mc3-refined"
+
+    def __init__(
+        self,
+        max_rounds: int = 5,
+        verify: bool = True,
+        **general_kwargs,
+    ):
+        super().__init__(verify=verify)
+        self.max_rounds = max_rounds
+        self._general = GeneralSolver(verify=False, **general_kwargs)
+
+    def _solve(self, instance: MC3Instance) -> Tuple[Solution, Dict[str, object]]:
+        base = self._general.solve(instance)
+        refined, moves = refine_selection(
+            instance, set(base.solution.classifiers), self.max_rounds
+        )
+        solution = Solution.from_instance(refined, instance)
+        details = dict(base.details)
+        details["refinement_moves"] = moves
+        details["refinement_saving"] = base.cost - solution.cost
+        return solution, details

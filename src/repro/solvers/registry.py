@@ -1,0 +1,50 @@
+"""Solver registry: names → factories, as used by the experiment harness
+and the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import SolverError
+from repro.solvers.base import Solver
+from repro.solvers.baselines import (
+    LocalGreedySolver,
+    MixedSolver,
+    PropertyOrientedSolver,
+    QueryOrientedSolver,
+)
+from repro.solvers.exact import ExactSolver
+from repro.solvers.general import GeneralSolver
+from repro.solvers.k2 import K2Solver
+from repro.solvers.refined import RefinedSolver
+from repro.solvers.robust import RobustSolver
+from repro.solvers.short_first import ShortFirstSolver
+
+_FACTORIES: Dict[str, Callable[[], Solver]] = {
+    "mc3-k2": K2Solver,
+    "mc3-general": GeneralSolver,
+    "short-first": ShortFirstSolver,
+    "property-oriented": PropertyOrientedSolver,
+    "query-oriented": QueryOrientedSolver,
+    "mixed": MixedSolver,
+    "local-greedy": LocalGreedySolver,
+    "exact": ExactSolver,
+    "mc3-robust": RobustSolver,
+    "mc3-refined": RefinedSolver,
+}
+
+
+def available_solvers() -> List[str]:
+    """Registered solver names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def make_solver(name: str, **kwargs) -> Solver:
+    """Instantiate a solver by name; keyword arguments go to its
+    constructor."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(available_solvers())
+        raise SolverError(f"unknown solver {name!r} (known: {known})") from None
+    return factory(**kwargs)

@@ -1,0 +1,210 @@
+"""Tests for the accuracy-aware extension (Section 8 future work)."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UniformCost, query
+from repro.exceptions import InvalidInstanceError, UncoverableQueryError
+from repro.extensions import (
+    AccuracyAwarePlanner,
+    Tier,
+    TieredCostModel,
+    min_cover_with_accuracy,
+    verify_plan,
+)
+from repro.extensions.accuracy import validate_tiers
+
+
+class TestTierValidation:
+    def test_sorted_and_dominated_dropped(self):
+        tiers = validate_tiers(
+            frozenset("a"),
+            [Tier(5, 0.95), Tier(2, 0.9), Tier(6, 0.94)],
+        )
+        assert tiers == (Tier(2, 0.9), Tier(5, 0.95))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInstanceError):
+            validate_tiers(frozenset("a"), [])
+
+    def test_rejects_bad_accuracy(self):
+        with pytest.raises(InvalidInstanceError):
+            validate_tiers(frozenset("a"), [Tier(1, 0.0)])
+        with pytest.raises(InvalidInstanceError):
+            validate_tiers(frozenset("a"), [Tier(1, 1.5)])
+
+    def test_rejects_bad_cost(self):
+        with pytest.raises(InvalidInstanceError):
+            validate_tiers(frozenset("a"), [Tier(-1, 0.9)])
+        with pytest.raises(InvalidInstanceError):
+            validate_tiers(frozenset("a"), [Tier(math.inf, 0.9)])
+
+
+class TestTieredCostModel:
+    def test_from_cost_model(self):
+        model = TieredCostModel.from_cost_model(
+            UniformCost(10.0), [query("a b")],
+            accuracies=(0.9, 0.99), multipliers=(1.0, 2.0),
+        )
+        tiers = model.tiers(frozenset(("a", "b")))
+        assert tiers == (Tier(10.0, 0.9), Tier(20.0, 0.99))
+        assert frozenset("a") in model
+
+    def test_misaligned_curves_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            TieredCostModel.from_cost_model(
+                UniformCost(1.0), [query("a")], accuracies=(0.9,), multipliers=(1, 2)
+            )
+
+
+def simple_model():
+    """Singletons are cheap but only 0.9-accurate unless upgraded; the
+    pair classifier clears a high bar alone."""
+    return TieredCostModel({
+        frozenset("a"): [Tier(2, 0.90), Tier(5, 0.99)],
+        frozenset("b"): [Tier(2, 0.90), Tier(5, 0.99)],
+        frozenset(("a", "b")): [Tier(7, 0.95), Tier(9, 0.99)],
+    })
+
+
+class TestMinCoverWithAccuracy:
+    def test_low_threshold_prefers_cheap_singletons(self):
+        cover = min_cover_with_accuracy(query("a b"), simple_model(), threshold=0.8)
+        assert cover is not None
+        assert cover.cost == 4.0  # two 0.9 singletons: 0.81 >= 0.8
+        assert cover.accuracy == pytest.approx(0.81)
+
+    def test_high_threshold_switches_to_pair(self):
+        # 0.9*0.9 = 0.81 < 0.93; 0.99-singletons cost 10; the pair at
+        # 0.95 costs 7 and satisfies alone.
+        cover = min_cover_with_accuracy(query("a b"), simple_model(), threshold=0.93)
+        assert cover is not None
+        assert cover.cost == 7.0
+        assert len(cover.picks) == 1
+
+    def test_threshold_always_satisfied(self):
+        for threshold in (0.5, 0.8, 0.9, 0.95, 0.98):
+            cover = min_cover_with_accuracy(
+                query("a b"), simple_model(), threshold=threshold
+            )
+            assert cover is not None
+            assert cover.accuracy >= threshold - 1e-12
+
+    def test_infeasible_returns_none(self):
+        model = TieredCostModel({frozenset("a"): [Tier(1, 0.9)]})
+        assert min_cover_with_accuracy(query("a"), model, threshold=0.95) is None
+        assert min_cover_with_accuracy(query("a b"), model, threshold=0.5) is None
+
+    def test_perfect_threshold_needs_perfect_tiers(self):
+        model = TieredCostModel({frozenset("a"): [Tier(1, 0.99), Tier(3, 1.0)]})
+        cover = min_cover_with_accuracy(query("a"), model, threshold=1.0)
+        assert cover is not None
+        assert cover.cost == 3.0
+
+    def test_upgrades_priced_incrementally(self):
+        model = simple_model()
+        bought = {frozenset("a"): Tier(2, 0.90)}
+        cover = min_cover_with_accuracy(
+            query("a b"), model, threshold=0.8, upgrades=bought
+        )
+        # a is free at 0.9; only b must be bought.
+        assert cover is not None
+        assert cover.cost == 2.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidInstanceError):
+            min_cover_with_accuracy(query("a"), simple_model(), threshold=0.0)
+
+    @given(st.floats(min_value=0.5, max_value=0.99))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_brute_force(self, threshold):
+        """Exhaustive check over all pick combinations on the toy model."""
+        model = simple_model()
+        q = query("a b")
+        options = []
+        for clf in model.classifiers():
+            for tier in model.tiers(clf):
+                options.append((clf, tier))
+        best = math.inf
+        for size in range(1, len(options) + 1):
+            for combo in itertools.combinations(options, size):
+                union = set()
+                accuracy = 1.0
+                cost = 0.0
+                used = set()
+                for clf, tier in combo:
+                    if clf in used:
+                        accuracy = -1  # a classifier is bought once
+                        break
+                    used.add(clf)
+                    union |= clf
+                    accuracy *= tier.accuracy
+                    cost += tier.cost
+                if accuracy >= threshold and union == set(q):
+                    best = min(best, cost)
+        cover = min_cover_with_accuracy(q, model, threshold=threshold)
+        if math.isinf(best):
+            assert cover is None
+        else:
+            assert cover is not None
+            # Quantisation is conservative: never cheaper than the true
+            # optimum, and on this coarse toy model it finds it exactly.
+            assert cover.cost == pytest.approx(best)
+
+
+class TestPlanner:
+    def test_shared_classifier_upgraded_not_rebought(self):
+        model = TieredCostModel({
+            frozenset("x"): [Tier(4, 0.90), Tier(6, 0.99)],
+            frozenset("y"): [Tier(1, 0.99)],
+            frozenset("z"): [Tier(1, 0.99)],
+            frozenset(("x", "y")): [Tier(20, 0.99)],
+            frozenset(("x", "z")): [Tier(20, 0.99)],
+        })
+        planner = AccuracyAwarePlanner(model, threshold=0.89)
+        plan = planner.plan([query("x y"), query("x z")])
+        verify_plan(plan, [query("x y"), query("x z")], model, 0.89)
+        # X bought once (possibly upgraded), never the expensive pairs.
+        assert plan.cost <= 4 + 1 + 1 + 2 + 1e-9
+
+    def test_infeasible_raises(self):
+        model = TieredCostModel({frozenset("a"): [Tier(1, 0.9)]})
+        planner = AccuracyAwarePlanner(model, threshold=0.99)
+        with pytest.raises(UncoverableQueryError):
+            planner.plan([query("a")])
+
+    def test_per_query_thresholds(self):
+        model = simple_model()
+        q = query("a b")
+        strict = AccuracyAwarePlanner(
+            model, threshold=0.5, per_query_thresholds={q: 0.93}
+        ).plan([q])
+        lax = AccuracyAwarePlanner(model, threshold=0.5).plan([q])
+        assert strict.cost >= lax.cost
+        verify_plan(strict, [q], model, 0.5, {q: 0.93})
+
+    def test_plan_accuracy_of_uncoverable_is_zero(self):
+        model = simple_model()
+        plan = AccuracyAwarePlanner(model, threshold=0.8).plan([query("a")])
+        assert plan.accuracy_of(query("a z")) == 0.0
+
+    def test_higher_threshold_costs_more(self):
+        model = simple_model()
+        costs = []
+        for threshold in (0.7, 0.9, 0.97):
+            plan = AccuracyAwarePlanner(model, threshold=threshold).plan(
+                [query("a b"), query("a")]
+            )
+            verify_plan(plan, [query("a b"), query("a")], model, threshold)
+            costs.append(plan.cost)
+        assert costs == sorted(costs)
+
+    def test_verify_plan_catches_low_accuracy(self):
+        model = simple_model()
+        plan = AccuracyAwarePlanner(model, threshold=0.8).plan([query("a b")])
+        with pytest.raises(InvalidInstanceError):
+            verify_plan(plan, [query("a b")], model, threshold=0.999)

@@ -1,0 +1,57 @@
+"""Tests for the optimality-certificate analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MC3Instance, make_solver, optimality_report
+from repro.core import Solution, save_instance
+from repro.exceptions import InfeasibleSolutionError
+from tests.conftest import random_instance
+
+
+class TestOptimalityReport:
+    def test_exact_solution_certified(self, example11):
+        result = make_solver("exact").solve(example11)
+        report = optimality_report(example11, result.solution)
+        assert report.gap <= 1.0 + 1e-6
+        assert report.certified_optimal
+        assert "certified optimal" in report.describe()
+
+    def test_bad_baseline_has_larger_gap(self, example11):
+        po = make_solver("property-oriented").solve(example11)
+        report = optimality_report(example11, po.solution)
+        assert report.gap > 1.5  # 16 vs optimum 7
+
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=15, deadline=None)
+    def test_bound_below_true_optimum(self, seed):
+        instance = random_instance(seed, num_properties=6, num_queries=5, max_length=3)
+        exact = make_solver("exact").solve(instance)
+        report = optimality_report(instance, exact.solution)
+        assert report.lower_bound <= exact.cost + 1e-6
+        assert report.gap >= 1.0 - 1e-9
+        assert report.guarantee >= 1.0
+
+    def test_infeasible_solution_rejected(self, example11):
+        with pytest.raises(InfeasibleSolutionError):
+            optimality_report(example11, Solution([], 0.0))
+
+    def test_lp_budget_skips_components(self, example11):
+        result = make_solver("exact").solve(example11)
+        report = optimality_report(example11, result.solution, lp_size_limit=0)
+        # Without LP bounds, only the forced preprocessing cost remains.
+        assert report.lp_components == 0
+        assert report.lower_bound <= result.cost
+
+    def test_cli_report_gap(self, tmp_path, capsys):
+        from repro.cli import main
+
+        instance = MC3Instance(["a b"], {"a": 1, "b": 1, "a b": 3})
+        path = tmp_path / "instance.json"
+        save_instance(instance, path)
+        assert main(["solve", str(path), "--report-gap"]) == 0
+        out = capsys.readouterr().out
+        assert "gap" in out and "proven bound" in out

@@ -1,0 +1,100 @@
+"""Tests for the bucketed greedy [CKW'10] and GeneralSolver's k≤2
+component dispatch."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MC3Instance, UniformCost
+from repro.exceptions import InvalidInstanceError, UncoverableQueryError
+from repro.setcover import bucket_greedy_wsc, exact_wsc, greedy_wsc, solve_wsc
+from repro.solvers import ExactSolver, GeneralSolver, K2Solver
+from tests.conftest import random_instance
+from tests.test_setcover import build, random_wsc
+
+
+class TestBucketGreedy:
+    def test_single_covering_set(self):
+        instance = build([(["a", "b"], 2)])
+        solution = bucket_greedy_wsc(instance)
+        assert solution.set_ids == (0,)
+
+    def test_zero_cost_sets_first(self):
+        instance = build([(["a"], 0), (["a", "b"], 5), (["b"], 1)])
+        solution = bucket_greedy_wsc(instance)
+        instance.verify_solution(solution)
+        assert 0 in solution.set_ids  # the free set is always taken first
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidInstanceError):
+            bucket_greedy_wsc(build([(["a"], 1)]), epsilon=0)
+
+    def test_uncoverable_raises(self):
+        instance = build([(["a"], 1)])
+        instance.add_element("orphan")
+        with pytest.raises(UncoverableQueryError):
+            bucket_greedy_wsc(instance)
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_feasible_and_near_greedy(self, seed):
+        instance = random_wsc(seed)
+        solution = bucket_greedy_wsc(instance, epsilon=0.1)
+        instance.verify_solution(solution)
+        # The bucketed greedy carries a (1+eps)(ln Δ + 1) guarantee.
+        optimum = exact_wsc(instance).cost
+        bound = 1.1 * (math.log(max(2, instance.degree())) + 1)
+        assert solution.cost <= bound * optimum + 1e-9
+
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=15, deadline=None)
+    def test_small_epsilon_tracks_exact_greedy(self, seed):
+        instance = random_wsc(seed)
+        bucketed = bucket_greedy_wsc(instance, epsilon=1e-6)
+        plain = greedy_wsc(instance)
+        # With a vanishing epsilon the bucket order is the greedy order.
+        assert bucketed.cost <= plain.cost * (1 + 1e-3) + 1e-6
+
+    def test_available_via_facade(self):
+        instance = random_wsc(3)
+        solution = solve_wsc(instance, method="bucket_greedy")
+        instance.verify_solution(solution)
+
+
+class TestK2Dispatch:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_on_pure_k2_instances(self, seed):
+        """With every component at k <= 2, dispatch makes GeneralSolver
+        exact."""
+        instance = random_instance(seed, num_properties=7, num_queries=6, max_length=2)
+        dispatched = GeneralSolver(dispatch_k2=True).solve(instance)
+        exact = ExactSolver().solve(instance)
+        assert dispatched.cost == pytest.approx(exact.cost)
+
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=15, deadline=None)
+    def test_never_worse_than_plain_general(self, seed):
+        instance = random_instance(seed, num_properties=7, num_queries=6, max_length=4)
+        dispatched = GeneralSolver(dispatch_k2=True).solve(instance)
+        plain = GeneralSolver().solve(instance)
+        dispatched.solution.verify(instance)
+        assert dispatched.cost <= plain.cost + 1e-9
+
+    def test_details_report_dispatch_count(self):
+        # Costs chosen so preprocessing cannot resolve the k=2 component
+        # (neither the pair nor the singletons dominate).
+        instance = MC3Instance(
+            ["a b", "x y z"],
+            {"a": 2, "b": 2, "a b": 3,
+             "x": 2, "y": 2, "z": 2, "x y": 3, "y z": 3, "x z": 3, "x y z": 5},
+        )
+        result = GeneralSolver(dispatch_k2=True).solve(instance)
+        assert result.details["k2_dispatched"] == 1
+
+    def test_disabled_by_default(self):
+        instance = MC3Instance(["a b"], {"a": 2, "b": 2, "a b": 3})
+        result = GeneralSolver().solve(instance)
+        assert result.details["k2_dispatched"] == 0

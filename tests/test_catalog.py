@@ -1,0 +1,164 @@
+"""Tests for the catalog application substrate (items, simulated
+classifiers, search, planner)."""
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    ClassifierPlanner,
+    ClassifierSuite,
+    Item,
+    SearchEngine,
+    TrainedClassifier,
+)
+from repro.core import TableCost, UniformCost, query
+from repro.exceptions import DatasetError
+
+
+def small_catalog():
+    catalog = Catalog()
+    catalog.add(Item("i1", "white adidas juventus shirt",
+                     latent=["white", "adidas", "juventus", "shirt"],
+                     observed=["shirt"]))
+    catalog.add(Item("i2", "blue chelsea shirt",
+                     latent=["blue", "chelsea", "shirt"],
+                     observed=["shirt", "blue"]))
+    catalog.add(Item("i3", "white nike shirt",
+                     latent=["white", "nike", "shirt"],
+                     observed=["shirt", "white", "nike"]))
+    return catalog
+
+
+class TestItem:
+    def test_observed_must_be_subset_of_latent(self):
+        with pytest.raises(DatasetError):
+            Item("x", "t", latent=["a"], observed=["b"])
+
+    def test_satisfies(self):
+        item = Item("x", "t", latent=["a", "b"])
+        assert item.satisfies(frozenset("ab"))
+        assert not item.satisfies(frozenset("ac"))
+
+    def test_annotate(self):
+        item = Item("x", "t", latent=["a", "b"])
+        item.annotate(["a"])
+        assert "a" in item.observed
+        assert item.missing() == frozenset("b")
+
+    def test_annotate_contradiction_rejected(self):
+        item = Item("x", "t", latent=["a"])
+        with pytest.raises(DatasetError):
+            item.annotate(["z"])
+
+
+class TestCatalog:
+    def test_duplicate_id_rejected(self):
+        catalog = Catalog()
+        catalog.add(Item("x", "t", latent=["a"]))
+        with pytest.raises(DatasetError):
+            catalog.add(Item("x", "t2", latent=["b"]))
+
+    def test_get_unknown(self):
+        with pytest.raises(DatasetError):
+            Catalog().get("missing")
+
+    def test_items_with_latent(self):
+        catalog = small_catalog()
+        matches = catalog.items_with_latent(frozenset(["white", "shirt"]))
+        assert {item.item_id for item in matches} == {"i1", "i3"}
+
+    def test_completeness(self):
+        catalog = small_catalog()
+        assert 0 < catalog.observed_completeness() < 1
+
+
+class TestTrainedClassifier:
+    def test_perfect_prediction(self):
+        clf = TrainedClassifier(frozenset(["white", "adidas"]), training_cost=3.0)
+        item = Item("x", "t", latent=["white", "adidas", "shirt"])
+        assert clf.predict(item)
+        other = Item("y", "t", latent=["white", "shirt"])
+        assert not clf.predict(other)
+
+    def test_error_rate_flips_deterministically(self):
+        clf = TrainedClassifier(frozenset(["a"]), 1.0, error_rate=0.5, seed=1)
+        item = Item("x", "t", latent=["a"])
+        assert clf.predict(item) == clf.predict(item)
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            TrainedClassifier(frozenset(), 1.0)
+        with pytest.raises(DatasetError):
+            TrainedClassifier(frozenset("a"), 1.0, error_rate=1.0)
+
+
+class TestClassifierSuite:
+    def test_train_pays_model_costs(self):
+        suite = ClassifierSuite.train(
+            [frozenset("a"), frozenset("ab")], TableCost({"a": 2, "a b": 5})
+        )
+        assert suite.total_training_cost == 7.0
+
+    def test_duplicate_rejected(self):
+        suite = ClassifierSuite([TrainedClassifier(frozenset("a"), 1.0)])
+        with pytest.raises(DatasetError):
+            suite.add(TrainedClassifier(frozenset("a"), 2.0))
+
+    def test_completion_annotates_positives_only(self):
+        catalog = small_catalog()
+        suite = ClassifierSuite(
+            [TrainedClassifier(frozenset(["white", "adidas"]), 1.0)]
+        )
+        added = suite.complete_catalog(catalog)
+        assert added == 2  # white+adidas on i1 only
+        assert catalog.get("i1").observed >= {"white", "adidas"}
+        assert "adidas" not in catalog.get("i3").observed
+
+    def test_audit_counts(self):
+        catalog = small_catalog()
+        suite = ClassifierSuite([TrainedClassifier(frozenset(["white"]), 1.0)])
+        audit = suite.audit(catalog)
+        assert audit["tp"] == 2 and audit["tn"] == 1
+        assert audit["fp"] == 0 and audit["fn"] == 0
+
+
+class TestSearchEngine:
+    def test_search_uses_observed_only(self):
+        engine = SearchEngine(small_catalog())
+        assert engine.search(query("white shirt")) == ["i3"]
+
+    def test_recall(self):
+        engine = SearchEngine(small_catalog())
+        assert engine.recall(query("white shirt")) == 0.5
+        assert engine.recall(query("nonexistent")) == 1.0  # vacuous
+
+    def test_invalidate_refreshes(self):
+        catalog = small_catalog()
+        engine = SearchEngine(catalog)
+        assert engine.search(query("white shirt")) == ["i3"]
+        catalog.get("i1").annotate(["white"])
+        engine.invalidate()
+        assert engine.search(query("white shirt")) == ["i1", "i3"]
+
+    def test_quality_report(self):
+        engine = SearchEngine(small_catalog())
+        report = engine.quality([query("white shirt"), query("blue shirt")])
+        assert 0 <= report.mean_recall <= 1
+        assert report.fully_answered == 1  # blue shirt fully observed
+
+
+class TestPlanner:
+    def test_end_to_end_full_recall(self):
+        catalog = small_catalog()
+        planner = ClassifierPlanner(catalog, UniformCost(1.0), solver_name="mc3-general")
+        query_log = [query("white adidas juventus shirt"), query("blue chelsea shirt")]
+        outcome = planner.plan_and_apply(query_log)
+        assert outcome.before.mean_recall < 1.0
+        assert outcome.after.mean_recall == 1.0
+        assert outcome.annotations_added > 0
+        assert "classifiers" in outcome.summary()
+
+    def test_instance_construction(self):
+        planner = ClassifierPlanner(small_catalog(), UniformCost(1.0))
+        instance = planner.build_instance([query("a b")])
+        assert instance.n == 1

@@ -1,0 +1,30 @@
+"""Tests for the per-category comparison experiment."""
+
+import pytest
+
+from repro.experiments import category_comparison
+
+
+class TestCategoryComparison:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return category_comparison(n=200, seed=0)
+
+    def test_one_row_per_category(self, table):
+        assert [row[0] for row in table.rows] == ["electronics", "fashion", "home"]
+
+    def test_headers_cover_solvers(self, table):
+        assert table.headers[:3] == ["category", "queries", "short"]
+        assert "MC3[G]" in table.headers
+        assert "Property-Oriented" in table.headers
+
+    def test_mc3_at_most_naive_baselines(self, table):
+        mc3_index = table.headers.index("MC3[G]")
+        for row in table.rows:
+            for baseline in ("Query-Oriented", "Property-Oriented"):
+                assert row[mc3_index] <= row[table.headers.index(baseline)] + 1e-9
+
+    def test_render(self, table):
+        text = table.render()
+        assert "Per-category comparison" in text
+        assert "fashion" in text

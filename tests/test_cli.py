@@ -1,0 +1,101 @@
+"""Tests for the ``mc3`` CLI and the experiments CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main as mc3_main
+from repro.core import MC3Instance, save_instance
+from repro.experiments.cli import main as experiments_main
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    instance = MC3Instance(
+        ["a b", "c"], {"a": 1, "b": 2, "a b": 2.5, "c": 1}, name="cli-test"
+    )
+    path = tmp_path / "instance.json"
+    save_instance(instance, path)
+    return path
+
+
+class TestMc3Cli:
+    def test_solve_prints_cost(self, instance_file, capsys):
+        assert mc3_main(["solve", str(instance_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cost" in out
+
+    def test_solve_writes_solution(self, instance_file, tmp_path, capsys):
+        out_path = tmp_path / "solution.json"
+        code = mc3_main(
+            ["solve", str(instance_file), "--output", str(out_path), "--verbose"]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert "classifiers" in payload and payload["cost"] >= 0
+
+    def test_solve_with_named_solver(self, instance_file, capsys):
+        assert mc3_main(["solve", str(instance_file), "--solver", "query-oriented"]) == 0
+
+    def test_stats(self, instance_file, capsys):
+        assert mc3_main(["stats", str(instance_file)]) == 0
+        assert "queries" in capsys.readouterr().out
+
+    def test_generate_bestbuy(self, tmp_path, capsys):
+        out_path = tmp_path / "bb.json"
+        code = mc3_main(
+            ["generate", "bestbuy", "--n", "30", "--seed", "1", "--output", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+
+    def test_generate_materialises_lazy_costs(self, tmp_path):
+        out_path = tmp_path / "s.json"
+        code = mc3_main(
+            ["generate", "synthetic", "--n", "30", "--output", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["queries"]
+
+    def test_generate_too_large_fails_cleanly(self, tmp_path, capsys):
+        out_path = tmp_path / "s.json"
+        code = mc3_main(
+            ["generate", "synthetic", "--n", "30", "--output", str(out_path),
+             "--max-entries", "5"]
+        )
+        assert code == 1
+        assert "too large to materialise" in capsys.readouterr().err
+
+    def test_lists(self, capsys):
+        assert mc3_main(["solvers"]) == 0
+        assert "mc3-general" in capsys.readouterr().out
+        assert mc3_main(["datasets"]) == 0
+        assert "synthetic" in capsys.readouterr().out
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        assert mc3_main(["stats", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+        broken = tmp_path / "broken.json"
+        broken.write_text("{nope")
+        assert mc3_main(["stats", str(broken)]) == 1
+
+
+class TestExperimentsCli:
+    def test_fig3a_tiny_via_all_flags(self, capsys, monkeypatch):
+        # Patch the registry to a tiny run so the test stays fast.
+        from repro.experiments import cli as cli_module
+        from repro.experiments import figure_3a
+
+        monkeypatch.setitem(
+            cli_module.EXPERIMENTS,
+            "fig3a",
+            lambda seed, full: figure_3a(n=60, sizes=[30, 60], seed=seed),
+        )
+        assert experiments_main(["fig3a", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3a" in out and "MC3[S]" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["not-an-experiment"])

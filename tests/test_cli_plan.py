@@ -1,0 +1,85 @@
+"""Tests for the ``mc3 plan`` command and the auto flow-kernel chooser."""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main as mc3_main
+from repro.flow import FlowNetwork, choose_algorithm, max_flow
+from repro.solvers import K2Solver
+from tests.conftest import random_instance
+
+
+@pytest.fixture
+def log_and_costs(tmp_path):
+    log = tmp_path / "queries.txt"
+    # Duplicates model popularity: "a b" is searched three times.
+    log.write_text("a b\na b\na b\nb c\nd\n")
+    costs = tmp_path / "costs.csv"
+    costs.write_text(
+        "classifier,cost\na,4\nb,4\nc,4\nd,1\na+b,5\nb+c,5\n"
+    )
+    return log, costs
+
+
+class TestPlanCommand:
+    def test_full_coverage_plan(self, log_and_costs, capsys, tmp_path):
+        log, costs = log_and_costs
+        out = tmp_path / "plan.json"
+        code = mc3_main(["plan", str(log), str(costs), "--output", str(out), "--verbose"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "covered       : 3/3 queries" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["classifiers"]
+
+    def test_budgeted_plan_prefers_good_ratios(self, log_and_costs, capsys):
+        log, costs = log_and_costs
+        code = mc3_main(["plan", str(log), str(costs), "--budget", "6"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        # The bundle greedy takes D (ratio 1.0), then AB for the
+        # three-times-searched query (ratio 0.6): 4 of 5 searches served.
+        assert "spent         : 6" in stdout
+        assert "(80.0% of traffic)" in stdout
+
+    def test_plan_with_named_solver(self, log_and_costs, capsys):
+        log, costs = log_and_costs
+        assert mc3_main(["plan", str(log), str(costs), "--solver", "query-oriented"]) == 0
+
+    def test_missing_cost_file(self, log_and_costs, tmp_path, capsys):
+        log, _ = log_and_costs
+        code = mc3_main(["plan", str(log), str(tmp_path / "nope.csv")])
+        assert code == 1
+
+
+class TestAutoKernel:
+    def test_small_network_uses_edmonds_karp(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 5)
+        assert choose_algorithm(network) == "edmonds_karp"
+
+    def test_huge_capacities_use_scaling(self):
+        network = FlowNetwork()
+        for i in range(100):
+            network.add_edge("s", f"m{i}", 10_000_000)
+            network.add_edge(f"m{i}", "t", 10_000_000)
+        assert choose_algorithm(network) == "capacity_scaling"
+
+    def test_default_is_dinic(self):
+        network = FlowNetwork()
+        for i in range(100):
+            network.add_edge("s", f"m{i}", 2)
+            network.add_edge(f"m{i}", "t", 2)
+        assert choose_algorithm(network) == "dinic"
+
+    def test_max_flow_accepts_auto(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 7)
+        assert max_flow(network, "s", "t", algorithm="auto").value == 7
+
+    def test_k2_solver_accepts_auto(self):
+        instance = random_instance(9, num_properties=6, num_queries=5, max_length=2)
+        result = K2Solver(flow_algorithm="auto").solve(instance)
+        assert result.cost == K2Solver().solve(instance).cost

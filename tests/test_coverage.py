@@ -1,0 +1,106 @@
+"""Tests for the coverage semantics (Section 2.1) — the independent
+feasibility oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coverage import (
+    CoverageChecker,
+    covering_subset,
+    is_covered,
+    verify_cover,
+)
+from repro.exceptions import InfeasibleSolutionError
+
+PROPS = [f"p{i}" for i in range(6)]
+QUERY = st.frozensets(st.sampled_from(PROPS), min_size=1, max_size=4)
+SELECTION = st.frozensets(
+    st.frozensets(st.sampled_from(PROPS), min_size=1, max_size=3), max_size=8
+)
+
+
+def reference_is_covered(q, selected):
+    """Literal Section 2.1 definition: ∃ T ⊆ S with P(T) = q, via the
+    equivalent union-of-usable-subsets formulation computed naively."""
+    usable = [clf for clf in selected if clf <= q]
+    union = set()
+    for clf in usable:
+        union |= clf
+    return union == set(q)
+
+
+class TestIsCovered:
+    def test_exact_classifier_covers(self):
+        assert is_covered(frozenset("ab"), [frozenset("ab")])
+
+    def test_union_covers(self):
+        assert is_covered(frozenset("abc"), [frozenset("ab"), frozenset("c")])
+
+    def test_overlapping_union_covers(self):
+        assert is_covered(frozenset("abc"), [frozenset("ab"), frozenset("bc")])
+
+    def test_superset_classifier_does_not_cover(self):
+        """A classifier testing extra properties cannot be used: P(T)
+        must equal the query exactly."""
+        assert not is_covered(frozenset("ab"), [frozenset("abc")])
+
+    def test_partial_union_does_not_cover(self):
+        assert not is_covered(frozenset("abc"), [frozenset("ab")])
+
+    def test_empty_selection(self):
+        assert not is_covered(frozenset("a"), [])
+
+    @given(QUERY, SELECTION)
+    @settings(max_examples=120)
+    def test_matches_reference_semantics(self, q, selected):
+        assert is_covered(q, selected) == reference_is_covered(q, selected)
+
+
+class TestCoveringSubset:
+    def test_returns_usable_only(self):
+        witnesses = covering_subset(
+            frozenset("ab"), [frozenset("a"), frozenset("abc")]
+        )
+        assert witnesses == [frozenset("a")]
+
+
+class TestCoverageChecker:
+    def test_applicable_queries(self):
+        checker = CoverageChecker([frozenset("ab"), frozenset("bc"), frozenset("b")])
+        assert checker.applicable_queries(frozenset("b")) == [0, 1, 2]
+        assert checker.applicable_queries(frozenset("ab")) == [0]
+        assert checker.applicable_queries(frozenset("az")) == []
+
+    def test_uncovered_queries(self):
+        checker = CoverageChecker([frozenset("ab"), frozenset("c")])
+        missing = checker.uncovered_queries([frozenset("ab")])
+        assert missing == [frozenset("c")]
+
+    def test_all_covered(self):
+        checker = CoverageChecker([frozenset("ab")])
+        assert checker.all_covered([frozenset("a"), frozenset("b")])
+        assert not checker.all_covered([frozenset("a")])
+
+    @given(st.lists(QUERY, min_size=1, max_size=5, unique=True), SELECTION)
+    @settings(max_examples=80)
+    def test_checker_agrees_with_is_covered(self, queries, selected):
+        checker = CoverageChecker(queries)
+        missing = set(checker.uncovered_queries(selected))
+        for q in queries:
+            assert (q in missing) == (not is_covered(q, selected))
+
+
+class TestVerifyCover:
+    def test_passes_on_feasible(self):
+        verify_cover([frozenset("ab")], [frozenset("ab")])
+
+    def test_raises_on_missing(self):
+        with pytest.raises(InfeasibleSolutionError) as excinfo:
+            verify_cover([frozenset("ab"), frozenset("c")], [frozenset("ab")])
+        assert "1 query is" in str(excinfo.value)
+
+    def test_error_counts_multiple(self):
+        with pytest.raises(InfeasibleSolutionError) as excinfo:
+            verify_cover([frozenset("a"), frozenset("b")], [])
+        assert "2 queries are" in str(excinfo.value)

@@ -1,0 +1,78 @@
+"""Determinism guarantees: identical inputs give identical outputs,
+byte for byte, across repeated runs in one process.
+
+(Cross-process determinism additionally relies on never hashing with
+PYTHONHASHSEED-sensitive orders; the generators are seeded with strings
+and all reducers iterate deterministic structures — these tests catch
+in-process regressions, the sample-data tests catch cross-process ones.)
+"""
+
+import pytest
+
+from repro.datasets import bestbuy_like, private_like, synthetic
+from repro.extensions import greedy_partial_cover
+from repro.preprocess import preprocess
+from repro.solvers import make_solver
+from tests.conftest import random_instance
+
+SOLVERS = [
+    "mc3-k2",
+    "mc3-general",
+    "short-first",
+    "local-greedy",
+    "exact",
+    "mc3-refined",
+]
+
+
+class TestSolverDeterminism:
+    @pytest.mark.parametrize("name", SOLVERS)
+    def test_same_solution_twice(self, name):
+        instance = random_instance(77, num_properties=7, num_queries=6, max_length=2)
+        first = make_solver(name).solve(instance)
+        second = make_solver(name).solve(instance)
+        assert first.solution.classifiers == second.solution.classifiers
+        assert first.cost == second.cost
+
+    def test_general_deterministic_on_generated_data(self):
+        instance = private_like(300, seed=5)
+        a = make_solver("mc3-general").solve(instance)
+        b = make_solver("mc3-general").solve(instance)
+        assert a.solution.classifiers == b.solution.classifiers
+
+
+class TestPreprocessDeterminism:
+    def test_same_forced_and_components(self):
+        instance = random_instance(31, num_properties=7, num_queries=6, max_length=3)
+        a = preprocess(instance)
+        b = preprocess(instance)
+        assert a.forced == b.forced
+        assert [c.queries for c in a.components] == [c.queries for c in b.components]
+
+
+class TestGeneratorDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: bestbuy_like(150, seed=9),
+            lambda: private_like(150, seed=9),
+            lambda: synthetic(150, seed=9),
+        ],
+        ids=["bestbuy", "private", "synthetic"],
+    )
+    def test_identical_across_calls(self, factory):
+        a, b = factory(), factory()
+        assert list(a.queries) == list(b.queries)
+        q = a.queries[0]
+        for clf in a.candidates(q):
+            assert a.weight(clf) == b.weight(clf)
+
+
+class TestExtensionDeterminism:
+    def test_partial_cover_deterministic(self):
+        instance = private_like(120, seed=2)
+        weights = {q: float(len(q)) for q in instance.queries}
+        a = greedy_partial_cover(instance, weights, budget=500)
+        b = greedy_partial_cover(instance, weights, budget=500)
+        assert a.classifiers == b.classifiers
+        assert a.covered_weight == b.covered_weight

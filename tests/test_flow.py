@@ -1,0 +1,199 @@
+"""Tests for the max-flow substrate: four kernels, residual network,
+minimum cuts.  Random networks are validated against networkx as an
+independent oracle."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReductionError, SolverError
+from repro.flow import (
+    ALGORITHMS,
+    FlowNetwork,
+    capacity_scaling,
+    dinic,
+    edmonds_karp,
+    max_flow,
+    push_relabel,
+)
+
+KERNELS = sorted(ALGORITHMS)
+
+
+def diamond_network():
+    """Classic diamond: max flow 2000 via both middle paths + cross edge."""
+    network = FlowNetwork()
+    network.add_edge("s", "a", 1000)
+    network.add_edge("s", "b", 1000)
+    network.add_edge("a", "b", 1)
+    network.add_edge("a", "t", 1000)
+    network.add_edge("b", "t", 1000)
+    return network
+
+
+def random_network(seed: int, num_nodes: int = 8, num_edges: int = 18):
+    rng = random.Random(seed)
+    network = FlowNetwork()
+    graph = nx.DiGraph()
+    nodes = list(range(num_nodes))
+    for node in nodes:
+        network.add_node(node)
+        graph.add_node(node)
+    for _ in range(num_edges):
+        u, v = rng.sample(nodes, 2)
+        cap = rng.randint(0, 12)
+        network.add_edge(u, v, cap)
+        # networkx collapses parallel edges; accumulate capacities.
+        if graph.has_edge(u, v):
+            graph[u][v]["capacity"] += cap
+        else:
+            graph.add_edge(u, v, capacity=cap)
+    return network, graph
+
+
+class TestNetwork:
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            FlowNetwork().add_edge("a", "b", -1)
+
+    def test_unknown_node(self):
+        with pytest.raises(ReductionError):
+            FlowNetwork().node_id("missing")
+
+    def test_edges_report_flow(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 5)
+        dinic(network, "s", "t")
+        (edge,) = network.edges()
+        assert edge.capacity == 5
+        assert edge.flow == 5
+
+    def test_reset_flow(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 5)
+        dinic(network, "s", "t")
+        network.reset_flow()
+        (edge,) = network.edges()
+        assert edge.flow == 0
+        assert dinic(network, "s", "t") == 5
+
+    def test_max_finite_capacity_ignores_infinite(self):
+        network = FlowNetwork()
+        network.add_edge("a", "b", math.inf)
+        network.add_edge("b", "c", 7)
+        assert network.max_finite_capacity() == 7
+
+
+@pytest.mark.parametrize("kernel_name", KERNELS)
+class TestKernels:
+    def kernel(self, name):
+        return ALGORITHMS[name]
+
+    def test_single_edge(self, kernel_name):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 3.5)
+        assert self.kernel(kernel_name)(network, "s", "t") == 3.5
+
+    def test_no_path(self, kernel_name):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 3)
+        network.add_node("t")
+        assert self.kernel(kernel_name)(network, "s", "t") == 0
+
+    def test_diamond(self, kernel_name):
+        network = diamond_network()
+        assert self.kernel(kernel_name)(network, "s", "t") == 2000
+
+    def test_bottleneck_path(self, kernel_name):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 10)
+        network.add_edge("a", "b", 2)
+        network.add_edge("b", "t", 10)
+        assert self.kernel(kernel_name)(network, "s", "t") == 2
+
+    def test_infinite_middle_edges(self, kernel_name):
+        """The WVC-reduction shape: finite source/sink edges, infinite
+        middle ones."""
+        network = FlowNetwork()
+        network.add_edge("s", "l1", 4)
+        network.add_edge("s", "l2", 6)
+        network.add_edge("l1", "r1", math.inf)
+        network.add_edge("l2", "r1", math.inf)
+        network.add_edge("r1", "t", 7)
+        assert self.kernel(kernel_name)(network, "s", "t") == 7
+
+    def test_unbounded_raises(self, kernel_name):
+        network = FlowNetwork()
+        network.add_edge("s", "a", math.inf)
+        network.add_edge("a", "t", math.inf)
+        with pytest.raises(SolverError):
+            self.kernel(kernel_name)(network, "s", "t")
+
+    def test_source_equals_sink_rejected(self, kernel_name):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 1)
+        with pytest.raises(SolverError):
+            self.kernel(kernel_name)(network, "s", "s")
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, kernel_name, seed):
+        network, graph = random_network(seed)
+        expected = nx.maximum_flow_value(graph, 0, 1) if graph.has_node(1) else 0
+        value = self.kernel(kernel_name)(network, 0, 1)
+        assert value == pytest.approx(expected)
+
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=25, deadline=None)
+    def test_min_cut_capacity_equals_flow(self, kernel_name, seed):
+        network, _graph = random_network(seed)
+        value = self.kernel(kernel_name)(network, 0, 1)
+        source_side, cut_edges = network.min_cut(0, 1)
+        assert 0 in source_side and 1 not in source_side
+        assert sum(edge.capacity for edge in cut_edges) == pytest.approx(value)
+
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=25, deadline=None)
+    def test_flow_conservation(self, kernel_name, seed):
+        network, _graph = random_network(seed)
+        value = self.kernel(kernel_name)(network, 0, 1)
+        balance = {}
+        for edge in network.edges():
+            balance[edge.source] = balance.get(edge.source, 0.0) - edge.flow
+            balance[edge.target] = balance.get(edge.target, 0.0) + edge.flow
+            assert -1e-9 <= edge.flow <= edge.capacity + 1e-9
+        for node, net in balance.items():
+            if node == 0:
+                assert net == pytest.approx(-value)
+            elif node == 1:
+                assert net == pytest.approx(value)
+            else:
+                assert net == pytest.approx(0.0)
+
+
+class TestFacade:
+    def test_unknown_algorithm(self):
+        with pytest.raises(SolverError):
+            max_flow(diamond_network(), "s", "t", algorithm="nope")
+
+    def test_result_min_cut(self):
+        result = max_flow(diamond_network(), "s", "t")
+        source_side, cut_edges = result.min_cut()
+        assert result.value == 2000
+        assert sum(e.capacity for e in cut_edges) == result.value
+
+    def test_min_cut_before_completion_rejected(self):
+        network = diamond_network()
+        with pytest.raises(ReductionError):
+            network.min_cut("s", "t")
+
+    def test_kernels_agree_on_diamond(self):
+        values = set()
+        for name in KERNELS:
+            network = diamond_network()
+            values.add(max_flow(network, "s", "t", algorithm=name).value)
+        assert values == {2000}

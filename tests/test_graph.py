@@ -1,0 +1,80 @@
+"""Tests for the undirected graph substrate."""
+
+import pytest
+
+from repro.graph import UndirectedGraph, connected_components
+
+
+class TestUndirectedGraph:
+    def test_add_edge_registers_nodes(self):
+        g = UndirectedGraph()
+        g.add_edge("a", "b")
+        assert "a" in g and "b" in g
+        assert g.neighbors("a") == {"b"}
+
+    def test_self_loop_ignored(self):
+        g = UndirectedGraph()
+        g.add_edge("a", "a")
+        assert g.neighbors("a") == set()
+        assert g.num_edges() == 0
+
+    def test_duplicate_edges_collapse(self):
+        g = UndirectedGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        assert g.num_edges() == 1
+
+    def test_add_path(self):
+        g = UndirectedGraph()
+        g.add_path(["a", "b", "c"])
+        assert g.num_edges() == 2
+        assert g.neighbors("b") == {"a", "c"}
+
+    def test_add_path_single_node(self):
+        g = UndirectedGraph()
+        g.add_path(["a"])
+        assert "a" in g
+        assert g.num_edges() == 0
+
+    def test_bfs_order_and_reachability(self):
+        g = UndirectedGraph()
+        g.add_path(["a", "b", "c"])
+        g.add_node("z")
+        order = g.bfs("a")
+        assert order[0] == "a"
+        assert set(order) == {"a", "b", "c"}
+
+    def test_bfs_unknown_start(self):
+        with pytest.raises(KeyError):
+            UndirectedGraph().bfs("missing")
+
+    def test_components(self):
+        g = UndirectedGraph()
+        g.add_path(["a", "b"])
+        g.add_path(["c", "d"])
+        g.add_node("e")
+        comps = g.components()
+        assert sorted(sorted(c) for c in comps) == [["a", "b"], ["c", "d"], ["e"]]
+
+    def test_components_deterministic(self):
+        def build():
+            g = UndirectedGraph()
+            g.add_path(["x", "y"])
+            g.add_path(["a", "b", "c"])
+            return [sorted(c) for c in g.components()]
+
+        assert build() == build()
+
+    def test_len(self):
+        g = UndirectedGraph()
+        g.add_path(["a", "b", "c"])
+        assert len(g) == 3
+
+
+class TestConnectedComponents:
+    def test_edge_list_helper(self):
+        comps = connected_components([("a", "b"), ("b", "c"), ("x", "y")])
+        assert sorted(sorted(c) for c in comps) == [["a", "b", "c"], ["x", "y"]]
+
+    def test_empty(self):
+        assert connected_components([]) == []

@@ -1,0 +1,86 @@
+"""Tests for the incremental planner extension."""
+
+import pytest
+
+from repro.core import TableCost, UniformCost
+from repro.exceptions import InvalidInstanceError
+from repro.extensions import IncrementalPlanner
+from repro.solvers import ExactSolver
+from tests.conftest import random_instance
+
+
+def planner_with(cost, **kwargs):
+    return IncrementalPlanner(cost, **kwargs)
+
+
+class TestBasics:
+    def test_single_batch_matches_batch_solver(self):
+        cost = TableCost({"a": 1, "b": 2, "a b": 2.5})
+        planner = planner_with(cost)
+        outcome = planner.add_batch(["a b"])
+        assert outcome.incremental_cost == 2.5
+        planner.verify()
+        assert planner.total_cost == 2.5
+
+    def test_duplicate_queries_ignored(self):
+        planner = planner_with(UniformCost(1.0))
+        planner.add_batch(["a b"])
+        outcome = planner.add_batch(["a b", "b a"])
+        assert outcome.new_queries == ()
+        assert outcome.incremental_cost == 0.0
+
+    def test_sunk_classifiers_are_free(self):
+        cost = TableCost({"a": 5, "b": 5, "c": 1, "a b": 6, "b c": 2})
+        planner = planner_with(cost)
+        planner.add_batch(["a b"])  # buys A+B or AB
+        first_cost = planner.total_cost
+        outcome = planner.add_batch(["b c"])
+        # b is already paid for in either representation that includes B;
+        # in the worst case the planner buys BC at 2 or C at 1.
+        assert outcome.incremental_cost <= 2.0
+        assert planner.total_cost == first_cost + outcome.incremental_cost
+
+    def test_cumulative_coverage_verified(self):
+        planner = planner_with(UniformCost(1.0))
+        planner.add_batch(["a b", "c"])
+        planner.add_batch(["c d", "e"])
+        planner.verify()
+        assert len(planner.queries) == 4
+        assert len(planner.batches) == 2
+
+    def test_empty_state_replan_rejected(self):
+        planner = planner_with(UniformCost(1.0))
+        with pytest.raises(InvalidInstanceError):
+            planner.replan()
+
+
+class TestRegret:
+    def test_replan_never_beats_batch_on_single_batch(self):
+        instance = random_instance(7, num_properties=6, num_queries=5, max_length=3)
+        planner = planner_with(instance.cost, solver_name="exact")
+        planner.add_batch(instance.queries)
+        assert planner.regret() == pytest.approx(1.0)
+
+    def test_incremental_at_least_replanned(self):
+        """Splitting into batches can only cost more (with exact solves)."""
+        instance = random_instance(11, num_properties=6, num_queries=6, max_length=3)
+        planner = planner_with(instance.cost, solver_name="exact")
+        half = len(instance.queries) // 2
+        planner.add_batch(instance.queries[:half])
+        planner.add_batch(instance.queries[half:])
+        planner.verify()
+        replanned = planner.replan()
+        assert planner.total_cost >= replanned.cost - 1e-9
+        assert planner.regret() >= 1.0 - 1e-9
+
+    def test_as_solution_prices_base_model(self):
+        cost = TableCost({"a": 3, "b": 4})
+        planner = planner_with(cost)
+        planner.add_batch(["a", "b"])
+        solution = planner.as_solution()
+        assert solution.cost == 7.0
+
+    def test_max_classifier_length_respected(self):
+        planner = planner_with(UniformCost(1.0), max_classifier_length=1)
+        planner.add_batch(["a b c"])
+        assert all(len(clf) == 1 for clf in planner.built_classifiers)

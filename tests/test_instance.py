@@ -1,0 +1,151 @@
+"""Tests for repro.core.instance."""
+
+import math
+
+import pytest
+
+from repro.core import MC3Instance, TableCost, UniformCost
+from repro.exceptions import InvalidInstanceError, UncoverableQueryError
+
+
+def simple_instance(**kwargs):
+    return MC3Instance(
+        queries=["a b", "b c", "d"],
+        cost=UniformCost(1.0),
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_deduplicates_queries(self):
+        instance = MC3Instance(["a b", "b a"], UniformCost(1.0))
+        assert instance.n == 1
+
+    def test_rejects_empty_query_load(self):
+        with pytest.raises(InvalidInstanceError):
+            MC3Instance([], UniformCost(1.0))
+
+    def test_rejects_empty_query(self):
+        with pytest.raises(InvalidInstanceError):
+            MC3Instance([""], UniformCost(1.0))
+
+    def test_mapping_cost_becomes_table(self):
+        instance = MC3Instance(["a"], {"a": 2.0})
+        assert isinstance(instance.cost, TableCost)
+        assert instance.weight(frozenset("a")) == 2.0
+
+    def test_invalid_classifier_cap(self):
+        with pytest.raises(InvalidInstanceError):
+            MC3Instance(["a"], UniformCost(1.0), max_classifier_length=0)
+
+    def test_preserves_input_order(self):
+        instance = MC3Instance(["b", "a"], UniformCost(1.0))
+        assert instance.queries == (frozenset("b"), frozenset("a"))
+
+
+class TestDerivedQuantities:
+    def test_properties_union(self):
+        assert simple_instance().properties == frozenset("abcd")
+
+    def test_max_query_length(self):
+        assert simple_instance().max_query_length == 2
+
+    def test_weight_honours_cap(self):
+        instance = simple_instance(max_classifier_length=1)
+        assert instance.weight(frozenset("ab")) == math.inf
+        assert instance.weight(frozenset("a")) == 1.0
+
+    def test_total_weight(self):
+        instance = simple_instance()
+        assert instance.total_weight([frozenset("a"), frozenset("ab")]) == 2.0
+
+    def test_candidates_filters_infinite(self):
+        instance = MC3Instance(["a b"], {"a": 1, "b": 1})
+        cands = list(instance.candidates(frozenset("ab")))
+        assert frozenset("ab") not in cands
+        assert set(cands) == {frozenset("a"), frozenset("b")}
+
+    def test_candidates_respects_cap(self):
+        instance = simple_instance(max_classifier_length=1)
+        cands = list(instance.candidates(frozenset("ab")))
+        assert all(len(c) == 1 for c in cands)
+
+    def test_classifier_universe_dedups(self):
+        instance = simple_instance()
+        universe = instance.classifier_universe()
+        assert len(universe) == len(set(universe))
+        assert frozenset("b") in universe  # shared by two queries
+
+
+class TestIncidence:
+    def test_example_from_paper(self):
+        """Q = {xy, yz}: I(y) = 2 is the maximum (Section 5)."""
+        instance = MC3Instance(["x y", "y z"], UniformCost(1.0))
+        assert instance.incidence() == 2
+        assert instance.incidence_of(frozenset("y")) == 2
+        assert instance.incidence_of(frozenset(("x", "y"))) == 1
+
+    def test_infinite_weight_has_zero_incidence(self):
+        instance = MC3Instance(["x y"], {"x": 1, "y": 1})
+        assert instance.incidence_of(frozenset(("x", "y"))) == 0
+
+    def test_incidence_without_finite_singletons(self):
+        instance = MC3Instance(["x y", "x z"], {"x y": 1, "x z": 1})
+        assert instance.incidence() == 1
+
+    def test_queries_containing(self):
+        instance = simple_instance()
+        assert instance.queries_containing(frozenset("b")) == [
+            frozenset("ab"),
+            frozenset("bc"),
+        ]
+
+
+class TestValidation:
+    def test_coverable_passes(self):
+        simple_instance().validate_coverable()
+
+    def test_uncoverable_raises(self):
+        instance = MC3Instance(["a b"], {"a": 1})
+        with pytest.raises(UncoverableQueryError):
+            instance.validate_coverable()
+
+
+class TestDerivedInstances:
+    def test_subset_prefix(self):
+        sub = simple_instance().subset(2)
+        assert sub.n == 2
+        assert sub.queries == simple_instance().queries[:2]
+
+    def test_subset_with_order(self):
+        sub = simple_instance().subset(2, order=[2, 0, 1])
+        assert sub.queries[0] == frozenset("d")
+
+    def test_subset_bounds(self):
+        with pytest.raises(InvalidInstanceError):
+            simple_instance().subset(0)
+        with pytest.raises(InvalidInstanceError):
+            simple_instance().subset(99)
+
+    def test_restricted_to(self):
+        short = simple_instance().restricted_to(lambda q: len(q) == 1)
+        assert short.queries == (frozenset("d"),)
+
+    def test_restricted_to_empty_raises(self):
+        with pytest.raises(InvalidInstanceError):
+            simple_instance().restricted_to(lambda q: False)
+
+    def test_split_by_length(self):
+        short, long_ = simple_instance().split_by_length(1)
+        assert short.n == 1
+        assert long_.n == 2
+
+    def test_split_all_short(self):
+        short, long_ = simple_instance().split_by_length(2)
+        assert long_ is None
+        assert short.n == 3
+
+    def test_with_cost(self):
+        swapped = simple_instance().with_cost(UniformCost(9.0))
+        assert swapped.weight(frozenset("a")) == 9.0
+        assert swapped.queries == simple_instance().queries

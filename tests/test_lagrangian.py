@@ -1,0 +1,68 @@
+"""Tests for the Lagrangian lower bound."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidInstanceError
+from repro.setcover import (
+    exact_wsc,
+    lagrangian_lower_bound,
+    lagrangian_value,
+    lp_lower_bound,
+)
+from tests.test_setcover import build, random_wsc
+
+
+class TestLagrangianValue:
+    def test_zero_multipliers_bound_is_zero(self):
+        instance = build([(["a"], 3)])
+        assert lagrangian_value(instance, [0.0]) == 0.0
+
+    def test_wrong_length_rejected(self):
+        instance = build([(["a"], 3)])
+        with pytest.raises(InvalidInstanceError):
+            lagrangian_value(instance, [1.0, 2.0])
+
+    def test_tight_multipliers_reach_optimum(self):
+        # One set covering one element at cost 3: y = 3 gives L = 3 = OPT.
+        instance = build([(["a"], 3)])
+        assert lagrangian_value(instance, [3.0]) == 3.0
+
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.lists(st.floats(min_value=0, max_value=5, allow_nan=False), min_size=12, max_size=12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_nonnegative_multipliers_are_a_bound(self, seed, raw):
+        instance = random_wsc(seed, num_elements=4, num_sets=4)
+        multipliers = raw[: instance.universe_size]
+        while len(multipliers) < instance.universe_size:
+            multipliers.append(0.0)
+        value = lagrangian_value(instance, multipliers)
+        assert value <= exact_wsc(instance).cost + 1e-9
+
+
+class TestLagrangianAscent:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_below_optimum_and_below_lp(self, seed):
+        instance = random_wsc(seed)
+        bound = lagrangian_lower_bound(instance)
+        assert bound <= exact_wsc(instance).cost + 1e-6
+        assert bound <= lp_lower_bound(instance) + 1e-6
+
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=15, deadline=None)
+    def test_nontrivial_on_random_instances(self, seed):
+        """The warm start + ascent should capture a good share of OPT."""
+        instance = random_wsc(seed)
+        bound = lagrangian_lower_bound(instance)
+        optimum = exact_wsc(instance).cost
+        assert bound >= 0.3 * optimum
+
+    def test_more_iterations_never_hurt(self):
+        instance = random_wsc(9)
+        short = lagrangian_lower_bound(instance, iterations=3)
+        long = lagrangian_lower_bound(instance, iterations=80)
+        assert long >= short - 1e-9

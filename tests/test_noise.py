@@ -1,0 +1,63 @@
+"""Tests for the classifier-noise experiment and the noisy-completion
+semantics behind it."""
+
+import pytest
+
+from repro.catalog import Catalog, ClassifierSuite, Item, TrainedClassifier
+from repro.experiments import noise_quality_curve
+
+
+class TestNoisyCompletion:
+    def test_false_positives_never_written(self):
+        """A noisy classifier may predict true on a non-matching item;
+        completion must not poison the store."""
+        catalog = Catalog()
+        catalog.add(Item("x", "t", latent=["a"]))
+        noisy = TrainedClassifier(frozenset("b"), 1.0, error_rate=0.99, seed=1)
+        suite = ClassifierSuite([noisy])
+        added = suite.complete_catalog(catalog)
+        assert added == 0
+        assert "b" not in catalog.get("x").observed
+
+    def test_false_negatives_lose_annotations(self):
+        catalog = Catalog()
+        for index in range(50):
+            catalog.add(Item(f"i{index}", "t", latent=["a"]))
+        noisy = TrainedClassifier(frozenset("a"), 1.0, error_rate=0.3, seed=2)
+        suite = ClassifierSuite([noisy])
+        suite.complete_catalog(catalog)
+        annotated = sum(1 for item in catalog if "a" in item.observed)
+        assert 0 < annotated < 50  # some predictions flipped to negative
+
+    def test_audit_counts_flips(self):
+        catalog = Catalog()
+        for index in range(40):
+            catalog.add(Item(f"p{index}", "t", latent=["a"]))
+        for index in range(40):
+            catalog.add(Item(f"n{index}", "t", latent=["z"]))
+        noisy = TrainedClassifier(frozenset("a"), 1.0, error_rate=0.25, seed=3)
+        audit = ClassifierSuite([noisy]).audit(catalog)
+        assert audit["fn"] > 0 and audit["fp"] > 0
+        assert audit["tp"] + audit["fn"] == 40
+        assert audit["tn"] + audit["fp"] == 40
+
+
+class TestNoiseQualityCurve:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return noise_quality_curve(n=60, error_rates=(0.0, 0.1, 0.3), seed=0)
+
+    def test_perfect_classifiers_give_full_recall(self, figure):
+        recall = figure.series_by_name("mean search recall").ys()
+        assert recall[0] == pytest.approx(1.0)
+
+    def test_recall_degrades_with_noise(self, figure):
+        recall = figure.series_by_name("mean search recall").ys()
+        assert recall[-1] < recall[0]
+
+    def test_miss_rate_tracks_error_rate(self, figure):
+        miss = figure.series_by_name(
+            "classifier miss rate (fn / positives)"
+        ).ys()
+        assert miss[0] == 0.0
+        assert miss == sorted(miss)

@@ -1,0 +1,41 @@
+"""Tests for the parallel experiment runner."""
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.experiments import parallel_sweep, sweep
+from tests.conftest import random_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_instance(13, num_properties=8, num_queries=8, max_length=2)
+
+
+SOLVERS = [("k2", "mc3-k2", {}), ("po", "property-oriented", {})]
+
+
+class TestParallelSweep:
+    def test_matches_sequential_costs(self, instance):
+        sequential = sweep(instance, SOLVERS, sizes=[3, 6, 8], seed=1)
+        parallel = parallel_sweep(
+            instance, SOLVERS, sizes=[3, 6, 8], seed=1, processes=2
+        )
+        assert parallel.costs == sequential.costs
+        assert parallel.sizes == sequential.sizes
+
+    def test_failures_recorded(self, instance):
+        # Mixed refuses varying costs; with allow_failures the sweep
+        # records the message instead of raising.
+        result = parallel_sweep(
+            instance,
+            [("mixed", "mixed", {})],
+            sizes=[4],
+            processes=2,
+            allow_failures=True,
+        )
+        assert result.failures["mixed"]
+
+    def test_failures_raise_by_default(self, instance):
+        with pytest.raises(SolverError):
+            parallel_sweep(instance, [("mixed", "mixed", {})], sizes=[4], processes=2)

@@ -1,0 +1,118 @@
+"""Tests for the free-text query parser (the intro's translation step)."""
+
+import pytest
+
+from repro.catalog import QueryParser
+from repro.exceptions import DatasetError
+
+VOCAB = [
+    "adidas", "juventus", "chelsea", "white", "shirt", "long-sleeve",
+    "sneakers", "red",
+]
+SYNONYMS = {
+    "juve": "juventus",
+    "sneaker": "sneakers",
+    "trainers": "sneakers",
+    "long sleeved": "long-sleeve",
+}
+
+
+@pytest.fixture
+def parser():
+    return QueryParser(VOCAB, SYNONYMS)
+
+
+class TestParse:
+    def test_simple_query(self, parser):
+        assert parser.parse("white adidas juventus shirt") == frozenset(
+            {"white", "adidas", "juventus", "shirt"}
+        )
+
+    def test_case_and_punctuation_normalised(self, parser):
+        assert parser.parse("White ADIDAS, Juventus!") == frozenset(
+            {"white", "adidas", "juventus"}
+        )
+
+    def test_synonyms_applied(self, parser):
+        assert parser.parse("juve shirt") == frozenset({"juventus", "shirt"})
+
+    def test_multiword_synonym(self, parser):
+        assert parser.parse("long sleeved shirt") == frozenset(
+            {"long-sleeve", "shirt"}
+        )
+
+    def test_compound_property_greedy_match(self, parser):
+        assert parser.parse("long sleeve shirt") == frozenset(
+            {"long-sleeve", "shirt"}
+        )
+
+    def test_unknown_ignored_by_default(self, parser):
+        assert parser.parse("cheap white shirt") == frozenset({"white", "shirt"})
+
+    def test_all_unknown_gives_none(self, parser):
+        assert parser.parse("cheap fast delivery") is None
+
+    def test_empty_text(self, parser):
+        assert parser.parse("") is None
+
+    def test_duplicates_collapse(self, parser):
+        assert parser.parse("shirt shirt white") == frozenset({"white", "shirt"})
+
+
+class TestPolicies:
+    def test_keep_policy(self):
+        parser = QueryParser(VOCAB, unknown="keep")
+        assert parser.parse("mystery shirt") == frozenset({"mystery", "shirt"})
+
+    def test_reject_policy(self):
+        parser = QueryParser(VOCAB, unknown="reject")
+        assert parser.parse("mystery shirt") is None
+        assert parser.parse("white shirt") == frozenset({"white", "shirt"})
+
+    def test_invalid_policy(self):
+        with pytest.raises(DatasetError):
+            QueryParser(VOCAB, unknown="explode")
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(DatasetError):
+            QueryParser([])
+
+    def test_synonym_target_must_exist(self):
+        with pytest.raises(DatasetError):
+            QueryParser(VOCAB, {"juve": "nonexistent"})
+
+
+class TestParseLog:
+    def test_log_statistics(self, parser):
+        queries, report = parser.parse_log(
+            [
+                "white adidas juventus shirt",
+                "juve shirt",
+                "cheap delivery",          # no known property -> empty
+                "white adidas juventus shirt",  # duplicate query
+            ]
+        )
+        assert report.total == 4
+        assert report.parsed == 3
+        assert report.empty == 1
+        assert len(queries) == 2  # distinct queries only
+        assert report.unknown_tokens["cheap"] == 1
+        assert 0 < report.coverage <= 1
+
+    def test_reject_counts(self):
+        parser = QueryParser(VOCAB, unknown="reject")
+        _queries, report = parser.parse_log(["white shirt", "mystery thing"])
+        assert report.rejected == 1
+        assert report.parsed == 1
+
+    def test_feeds_planner_pipeline(self, parser):
+        """Parsed queries slot directly into the MC³ machinery."""
+        from repro import MC3Instance, make_solver
+        from repro.core import UniformCost
+
+        queries, _report = parser.parse_log(
+            ["white adidas shirt", "juve shirt", "red sneakers"]
+        )
+        instance = MC3Instance(queries, UniformCost(1.0))
+        result = make_solver("mc3-general").solve(instance)
+        result.solution.verify(instance)

@@ -1,0 +1,62 @@
+"""The README's quickstart must actually run, and figure averaging must
+be sound."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import FigureResult, Series, average_figures, figure_3a
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_block_executes(self):
+        text = README.read_text(encoding="utf-8")
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.S)
+        assert blocks, "README lost its quickstart code block"
+        namespace: dict = {}
+        exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+        result = namespace["result"]
+        assert result.cost == 7.0
+
+    def test_readme_references_real_files(self):
+        text = README.read_text(encoding="utf-8")
+        root = README.parent
+        for relative in re.findall(r"`(examples/[a-z_]+\.py)`", text):
+            assert (root / relative).exists(), f"README references missing {relative}"
+
+
+class TestAverageFigures:
+    def make(self, values):
+        return FigureResult(
+            "F", "t", "x", "y", [Series("a", [(1, values[0]), (2, values[1])])]
+        )
+
+    def test_mean_of_points(self):
+        averaged = average_figures([self.make([2, 4]), self.make([4, 8])])
+        assert averaged.series_by_name("a").points == [(1, 3.0), (2, 6.0)]
+        assert "mean of 2 seeds" in averaged.title
+
+    def test_mismatched_series_rejected(self):
+        other = FigureResult("F", "t", "x", "y", [Series("b", [(1, 1.0)])])
+        with pytest.raises(ValueError):
+            average_figures([self.make([1, 2]), other])
+
+    def test_partial_overlap_keeps_common_points(self):
+        a = FigureResult("F", "t", "x", "y", [Series("a", [(1, 2.0), (2, 4.0)])])
+        b = FigureResult("F", "t", "x", "y", [Series("a", [(1, 4.0)])])
+        averaged = average_figures([a, b])
+        assert averaged.series_by_name("a").points == [(1, 3.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_figures([])
+
+    def test_real_figures_average(self):
+        figures = [figure_3a(n=80, sizes=[40, 80], seed=s) for s in (0, 1)]
+        averaged = average_figures(figures)
+        mc3 = averaged.series_by_name("MC3[S]").ys()
+        po = averaged.series_by_name("Property-Oriented").ys()
+        assert all(m <= p for m, p in zip(mc3, po))
