@@ -25,6 +25,16 @@ examples:
 		$(PYTHON) $$script || exit 1; \
 	done
 
+# Uses ruff (configured in pyproject.toml) when it is installed; falls
+# back to a bytecode-compilation syntax sweep on minimal environments.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; falling back to compileall syntax check"; \
+		$(PYTHON) -m compileall -q src tests benchmarks examples; \
+	fi
+
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis .benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -6,6 +6,9 @@ The package implements the MC³ problem end to end:
 * :mod:`repro.core` — queries, classifiers, cost models, instances,
   coverage semantics;
 * :mod:`repro.preprocess` — the four-step pruning pipeline (Algorithm 1);
+* :mod:`repro.engine` — the shared component-solving engine
+  (preprocess → schedule → dispatch → merge, sequential or
+  process-parallel, with per-stage telemetry);
 * :mod:`repro.flow`, :mod:`repro.matching`, :mod:`repro.setcover`,
   :mod:`repro.graph` — the algorithmic substrates built from scratch;
 * :mod:`repro.reductions` — MC³ ↔ WVC / max-flow / WSC reductions;
@@ -56,8 +59,10 @@ from repro.exceptions import (
     SolverError,
     UncoverableQueryError,
 )
+from repro.engine import SolveEngine
 from repro.preprocess import PreprocessResult, preprocess
 from repro.solvers import (
+    ComponentSolver,
     ExactSolver,
     GeneralSolver,
     K2Solver,
@@ -73,6 +78,7 @@ from repro.solvers import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ComponentSolver",
     "CostModel",
     "DatasetError",
     "ExactSolver",
@@ -91,6 +97,7 @@ __all__ = [
     "ReductionError",
     "ReproError",
     "ShortFirstSolver",
+    "SolveEngine",
     "Solution",
     "SolverError",
     "SolverResult",

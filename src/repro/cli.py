@@ -24,9 +24,39 @@ from repro.exceptions import ReproError
 from repro.solvers import available_solvers, make_solver
 
 
+def _solver_kwargs(args: argparse.Namespace) -> dict:
+    """Engine-level solver options shared by the solve/plan/compare
+    subcommands.  Only non-default values are forwarded, so solvers that
+    lack a knob (e.g. ``--dispatch-k2`` on the baselines) fail with the
+    registry's message naming the supported parameters."""
+    kwargs: dict = {}
+    if getattr(args, "jobs", 1) != 1:
+        kwargs["jobs"] = args.jobs
+    if getattr(args, "dispatch_k2", False):
+        kwargs["dispatch_k2"] = True
+    return kwargs
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for per-component parallel solving "
+        "(default 1 = sequential; output is identical either way)",
+    )
+    parser.add_argument(
+        "--dispatch-k2",
+        dest="dispatch_k2",
+        action="store_true",
+        help="solve components whose queries all have length <= 2 exactly "
+        "via max-flow instead of the WSC approximation",
+    )
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
-    solver = make_solver(args.solver)
+    solver = make_solver(args.solver, **_solver_kwargs(args))
     result = solver.solve(instance)
     print(f"solver   : {result.solver_name}")
     print(f"cost     : {result.cost:g}")
@@ -103,7 +133,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
               f"({plan.covered_weight / total_weight:.1%} of traffic)")
         selected = plan.classifiers
     else:
-        solver = make_solver(args.solver)
+        solver = make_solver(args.solver, **_solver_kwargs(args))
         result = solver.solve(instance)
         print(f"solver        : {result.solver_name}")
         print(f"cost          : {result.cost:g}")
@@ -157,13 +187,22 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.exceptions import ReproError as _ReproError
     from repro.experiments.report import render_table
 
+    from repro.solvers import supports_parameter
+
     instance = load_instance(args.instance)
     names = args.solvers or ["mc3-general", "local-greedy", "query-oriented",
                              "property-oriented"]
     rows = []
     for name in names:
+        # Forward engine flags only where the solver understands them, so
+        # one table can mix engine-backed solvers and baselines.
+        kwargs = {
+            key: value
+            for key, value in _solver_kwargs(args).items()
+            if supports_parameter(name, key)
+        }
         try:
-            result = make_solver(name).solve(instance)
+            result = make_solver(name, **kwargs).solve(instance)
         except _ReproError as exc:
             rows.append([name, "-", "-", f"({type(exc).__name__})"])
             continue
@@ -189,6 +228,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print an optimality certificate (LP lower bound + proven ratio)",
     )
+    _add_engine_flags(solve)
     solve.set_defaults(fn=_cmd_solve)
 
     generate = sub.add_parser("generate", help="generate a dataset instance")
@@ -233,6 +273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     plan.add_argument("--output", help="write the selected classifiers as JSON")
     plan.add_argument("--verbose", action="store_true")
+    _add_engine_flags(plan)
     plan.set_defaults(fn=_cmd_plan)
 
     verify = sub.add_parser("verify", help="verify a solution against an instance")
@@ -245,6 +286,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     compare.add_argument(
         "--solvers", nargs="*", choices=available_solvers(), default=None
     )
+    _add_engine_flags(compare)
     compare.set_defaults(fn=_cmd_compare)
 
     solvers = sub.add_parser("solvers", help="list registered solvers")

@@ -1,0 +1,34 @@
+"""The shared component-solving engine.
+
+Owns the solve pipeline every MC³ solver shares — preprocessing,
+component scheduling, per-component dispatch (sequential or process
+pool), deterministic merging, and per-stage telemetry — so solvers
+implement only the narrow ``solve_component`` contract.  See
+:mod:`repro.engine.engine` for the pipeline and
+:mod:`repro.engine.routing` for engine-level rules like the exact
+k ≤ 2 dispatch.
+"""
+
+from repro.engine.component import ComponentOutcome, SolvesComponents
+from repro.engine.engine import SolveEngine
+from repro.engine.executors import run_components
+from repro.engine.routing import (
+    EXACT_K2_ROUTE,
+    Route,
+    exact_k2_route,
+    solve_component_k2,
+)
+from repro.engine.telemetry import EngineTelemetry, size_histogram
+
+__all__ = [
+    "ComponentOutcome",
+    "EXACT_K2_ROUTE",
+    "EngineTelemetry",
+    "Route",
+    "SolveEngine",
+    "SolvesComponents",
+    "exact_k2_route",
+    "run_components",
+    "size_histogram",
+    "solve_component_k2",
+]

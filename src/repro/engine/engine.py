@@ -1,0 +1,130 @@
+"""The shared component-solving engine.
+
+Every MC³ solver pipeline has the same shape (the paper's Algorithms 2
+and 3 both open with "Run preprocessing procedure" and close by
+composing per-component answers):
+
+1. **preprocess** — Algorithm 1 forces/removes classifiers and splits
+   the residual load into property-disjoint components;
+2. **schedule** — assign each component to the default component solver
+   or to the first matching :class:`~repro.engine.routing.Route`;
+3. **dispatch** — solve components sequentially or across a process
+   pool (``jobs``), Observation 3.2 guaranteeing independence;
+4. **merge** — union the per-component selections in deterministic
+   component order, so ``jobs=N`` output is bit-identical to ``jobs=1``;
+5. **finalize** — combine with the forced classifiers and price against
+   the original instance;
+6. **telemetry** — per-stage timings, per-component solve times, and a
+   component-size histogram under ``details["engine"]``.
+
+Solvers plug in through the narrow
+:class:`~repro.engine.component.SolvesComponents` contract plus an
+optional ``aggregate_details(outcomes)`` hook for solver-specific
+details (WSC arm wins, total flow value, …).  Verification stays where
+it always was — :meth:`repro.solvers.base.Solver.solve` runs the
+independent coverage checker on the engine's output.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.instance import MC3Instance
+from repro.core.solution import Solution
+from repro.engine.component import ComponentOutcome, SolvesComponents
+from repro.engine.executors import ComponentTask, run_components
+from repro.engine.routing import Route
+from repro.engine.telemetry import EngineTelemetry
+from repro.preprocess import ALL_STEPS, preprocess
+
+
+class SolveEngine:
+    """Owns the preprocess → dispatch → merge → finalize pipeline.
+
+    Parameters
+    ----------
+    preprocess_steps:
+        Algorithm 1 steps to run; the empty tuple disables preprocessing
+        (the Figure 3c/3e/3f ablations measure exactly this difference).
+    jobs:
+        Worker processes for per-component dispatch.  ``1`` solves
+        in-process; higher values fan components out over a process
+        pool.  Output is identical either way, only wall-clock differs.
+    routes:
+        Engine-level routing rules tried in order before the default
+        component solver (see :func:`repro.engine.routing.exact_k2_route`).
+    """
+
+    def __init__(
+        self,
+        preprocess_steps: Sequence[int] = ALL_STEPS,
+        jobs: int = 1,
+        routes: Sequence[Route] = (),
+    ):
+        self.preprocess_steps = tuple(preprocess_steps)
+        self.jobs = max(1, int(jobs))
+        self.routes = tuple(routes)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, instance: MC3Instance, component_solver: SolvesComponents
+    ) -> Tuple[Solution, Dict[str, object]]:
+        """Execute the full pipeline; returns (solution, details)."""
+        prep = preprocess(instance, steps=self.preprocess_steps)
+        tasks = self._schedule(prep.components, component_solver)
+
+        mode = "process-pool" if self.jobs > 1 and len(tasks) >= 2 else "sequential"
+        telemetry = EngineTelemetry(jobs=self.jobs, mode=mode)
+        telemetry.preprocess_seconds = prep.report.elapsed_seconds
+
+        dispatch_started = time.perf_counter()
+        outcomes = run_components(tasks, jobs=self.jobs)
+        telemetry.solve_seconds = time.perf_counter() - dispatch_started
+
+        merge_started = time.perf_counter()
+        selected = set()
+        for outcome in outcomes:  # already in component index order
+            selected |= outcome.classifiers
+            telemetry.record_component(outcome.size, outcome.seconds, outcome.route)
+        solution = prep.finalize(selected)
+        telemetry.merge_seconds = time.perf_counter() - merge_started
+
+        details: Dict[str, object] = {
+            "preprocess": prep.report.as_dict(),
+            "components": len(prep.components),
+        }
+        details.update(self._aggregate(component_solver, outcomes))
+        details["engine"] = telemetry.as_dict()
+        return solution, details
+
+    # ------------------------------------------------------------------
+
+    def _schedule(
+        self,
+        components: Iterable[MC3Instance],
+        component_solver: SolvesComponents,
+    ) -> List[ComponentTask]:
+        """Assign each component to the first matching route, else the
+        default solver."""
+        tasks: List[ComponentTask] = []
+        for index, component in enumerate(components):
+            target: SolvesComponents = component_solver
+            route_name: Optional[str] = None
+            for route in self.routes:
+                if route.matches(component):
+                    target = route
+                    route_name = route.name
+                    break
+            tasks.append((index, target, component, route_name))
+        return tasks
+
+    @staticmethod
+    def _aggregate(
+        component_solver: SolvesComponents, outcomes: List[ComponentOutcome]
+    ) -> Dict[str, object]:
+        aggregate = getattr(component_solver, "aggregate_details", None)
+        if aggregate is None:
+            return {}
+        return aggregate(outcomes)

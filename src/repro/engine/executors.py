@@ -1,0 +1,85 @@
+"""Component execution strategies: sequential and process-pool.
+
+The engine hands the executor a list of ``(index, solver, component,
+route)`` tasks; the executor returns :class:`ComponentOutcome` objects
+*in index order* regardless of completion order, which is what makes
+parallel runs bit-identical to sequential ones — the merge stage never
+observes scheduling noise.
+
+Process-pool notes:
+
+* Workers receive pickled ``(solver, component)`` pairs.  Every shipped
+  cost model in :mod:`repro.core.costs` pickles cleanly;
+  ``CallableCost`` around a lambda does not (use a module-level
+  function), mirroring the constraint of
+  :mod:`repro.experiments.parallel`.
+* Solver exceptions (e.g. :class:`~repro.exceptions.UncoverableQueryError`)
+  propagate to the caller exactly as in sequential mode.
+* On POSIX the default ``fork`` start method keeps worker hash seeds
+  identical to the parent's, so even hash-order-sensitive iteration
+  cannot diverge between modes.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.instance import MC3Instance
+from repro.core.properties import Classifier
+from repro.engine.component import ComponentOutcome, SolvesComponents
+
+#: One unit of work: (component index, solver-like, component, route name).
+ComponentTask = Tuple[int, SolvesComponents, MC3Instance, Optional[str]]
+
+
+def _solve_one(
+    task: ComponentTask,
+) -> Tuple[int, FrozenSet[Classifier], Dict[str, object], float, int, Optional[str]]:
+    """Worker: solve one component, timed.  Module-level for pickling."""
+    index, solver, component, route = task
+    started = time.perf_counter()
+    classifiers, details = solver.solve_component(component)
+    seconds = time.perf_counter() - started
+    return index, frozenset(classifiers), details, seconds, component.n, route
+
+
+def _to_outcomes(rows) -> List[ComponentOutcome]:
+    outcomes = [
+        ComponentOutcome(index, classifiers, details, seconds, size, route)
+        for index, classifiers, details, seconds, size, route in rows
+    ]
+    outcomes.sort(key=lambda outcome: outcome.index)
+    return outcomes
+
+
+def run_sequential(tasks: List[ComponentTask]) -> List[ComponentOutcome]:
+    """Solve every component in the calling process, in index order."""
+    return _to_outcomes(_solve_one(task) for task in tasks)
+
+
+def run_process_pool(tasks: List[ComponentTask], jobs: int) -> List[ComponentOutcome]:
+    """Fan components out over ``jobs`` worker processes.
+
+    ``pool.map`` preserves submission order, and outcomes are re-sorted
+    by index anyway, so the merge stage sees the identical order the
+    sequential executor produces.
+    """
+    workers = max(1, min(jobs, len(tasks)))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        rows = list(pool.map(_solve_one, tasks))
+    return _to_outcomes(rows)
+
+
+def run_components(
+    tasks: List[ComponentTask], jobs: int = 1
+) -> List[ComponentOutcome]:
+    """Dispatch tasks with the strategy implied by ``jobs``.
+
+    ``jobs <= 1`` (or fewer than two tasks) runs sequentially — a pool
+    of one worker would pay pickling and fork overhead for nothing.
+    """
+    if jobs <= 1 or len(tasks) < 2:
+        return run_sequential(tasks)
+    return run_process_pool(tasks, jobs)

@@ -3,9 +3,12 @@
 The paper ran on 32 cores, and its preprocessing explicitly enables
 solving property-disjoint components in parallel (Section 3, step 2).
 This module parallelises at the *experiment* level — each (solver,
-subset size) cell of a sweep is an independent task — which keeps the
-solver code single-threaded and simple while still using every core for
-the sweeps that dominate reproduction wall-clock.
+subset size) cell of a sweep is an independent task.  Since the shared
+solving engine landed, a second level is available *inside* each cell:
+passing ``jobs > 1`` fans the property-disjoint components of a single
+solve over worker processes too (see :mod:`repro.engine`).  The two
+levels compose — up to ``processes × jobs`` workers may be live — so
+size them together against the machine's core count.
 
 Instances must be picklable: every shipped cost model is, but
 :class:`~repro.core.costs.CallableCost` around a lambda is not (use a
@@ -19,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.instance import MC3Instance
 from repro.exceptions import SolverError
-from repro.experiments.runner import SolverSpec, SweepResult, subset_order
+from repro.experiments.runner import SolverSpec, SweepResult, subset_order, with_jobs
 from repro.solvers import make_solver
 
 
@@ -43,11 +46,14 @@ def parallel_sweep(
     seed: int = 0,
     processes: Optional[int] = None,
     allow_failures: bool = False,
+    jobs: int = 1,
 ) -> SweepResult:
     """Like :func:`repro.experiments.runner.sweep`, fanned out over a
     process pool.  Deterministic: results are identical to the
     sequential sweep (same subset order, same solvers), only wall-clock
-    differs."""
+    differs.  ``jobs > 1`` additionally parallelises each solve over its
+    components (engine level); the worker count multiplies to at most
+    ``processes × jobs``."""
     clamped: List[int] = []
     for size in sizes:
         value = min(int(size), instance.n)
@@ -60,7 +66,7 @@ def parallel_sweep(
     for size in clamped:
         sub = instance.subset(size, order=order)
         for label, name, kwargs in solvers:
-            tasks.append((sub, label, name, dict(kwargs), size))
+            tasks.append((sub, label, name, with_jobs(kwargs, jobs), size))
 
     with ProcessPoolExecutor(max_workers=processes) as pool:
         for label, size, cost, seconds, error in pool.map(_solve_cell, tasks):

@@ -57,18 +57,32 @@ SolverSpec = Tuple[str, str, Dict[str, object]]
 """(display label, registry name, constructor kwargs)."""
 
 
+def with_jobs(kwargs: Dict[str, object], jobs: int) -> Dict[str, object]:
+    """Inject a per-solve component-parallelism budget into a spec's
+    constructor kwargs.  An explicit ``jobs`` in the spec wins, so a
+    sweep can pin individual solvers while defaulting the rest."""
+    if jobs == 1 or "jobs" in kwargs:
+        return dict(kwargs)
+    merged = dict(kwargs)
+    merged["jobs"] = jobs
+    return merged
+
+
 def sweep(
     instance: MC3Instance,
     solvers: Sequence[SolverSpec],
     sizes: Sequence[int],
     seed: int = 0,
     allow_failures: bool = False,
+    jobs: int = 1,
 ) -> SweepResult:
     """Run each solver over random prefixes of the query load.
 
     Sizes exceeding the load are clamped to the full load (and
     deduplicated).  ``allow_failures=True`` records solver errors (e.g.
-    Mixed on non-uniform costs) instead of propagating them.
+    Mixed on non-uniform costs) instead of propagating them.  ``jobs``
+    is handed to every solver for engine-level component parallelism —
+    solutions are unchanged, only wall-clock differs.
     """
     clamped: List[int] = []
     for size in sizes:
@@ -80,7 +94,7 @@ def sweep(
     for size in clamped:
         sub = instance.subset(size, order=order)
         for label, name, kwargs in solvers:
-            solver = make_solver(name, **kwargs)
+            solver = make_solver(name, **with_jobs(kwargs, jobs))
             try:
                 result.record(label, size, solver.solve(sub))
             except SolverError as exc:

@@ -2,7 +2,7 @@
 approximation), Short-First, the paper's baselines, and an exact
 branch-and-bound oracle."""
 
-from repro.solvers.base import Solver
+from repro.solvers.base import ComponentSolver, Solver
 from repro.solvers.baselines import (
     LocalGreedySolver,
     MixedSolver,
@@ -13,11 +13,17 @@ from repro.solvers.exact import ExactSolver
 from repro.solvers.general import GeneralSolver
 from repro.solvers.k2 import K2Solver
 from repro.solvers.refined import RefinedSolver, refine_selection
-from repro.solvers.registry import available_solvers, make_solver
+from repro.solvers.registry import (
+    available_solvers,
+    make_solver,
+    solver_parameters,
+    supports_parameter,
+)
 from repro.solvers.robust import RobustSolver, survives_failures
 from repro.solvers.short_first import ShortFirstSolver
 
 __all__ = [
+    "ComponentSolver",
     "ExactSolver",
     "RefinedSolver",
     "RobustSolver",
@@ -33,4 +39,6 @@ __all__ = [
     "Solver",
     "available_solvers",
     "make_solver",
+    "solver_parameters",
+    "supports_parameter",
 ]

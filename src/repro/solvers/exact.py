@@ -3,6 +3,8 @@
 Preprocessing (optimality-preserving) → per-component reduction to WSC →
 exact branch-and-bound.  Exponential worst case — the general problem is
 NP-hard (Theorem 5.1) — so a node limit guards against runaway searches.
+The preprocess/dispatch/merge pipeline is the shared engine's; only the
+per-component exact WSC solve lives here.
 """
 
 from __future__ import annotations
@@ -11,20 +13,21 @@ from typing import Dict, Sequence, Set, Tuple
 
 from repro.core.instance import MC3Instance
 from repro.core.properties import Classifier
-from repro.core.solution import Solution
 from repro.exceptions import SolverError
-from repro.preprocess import ALL_STEPS, preprocess
+from repro.preprocess import ALL_STEPS
 from repro.reductions import mc3_to_wsc
 from repro.setcover import DEFAULT_NODE_LIMIT, exact_wsc, exact_wsc_lp
-from repro.solvers.base import Solver
+from repro.solvers.base import ComponentSolver
 
 
-class ExactSolver(Solver):
+class ExactSolver(ComponentSolver):
     """Optimal MC³ solutions via exact WSC branch-and-bound.
 
     ``engine="combinatorial"`` (default) uses the pure-Python search;
     ``engine="lp"`` uses the LP-bounded search, which proves optimality
-    far faster on near-integral instances (hundreds of sets).
+    far faster on near-integral instances (hundreds of sets).  (The
+    ``engine`` knob predates, and is unrelated to, the shared solving
+    engine — it names the branch-and-bound variant.)
     """
 
     name = "exact"
@@ -34,28 +37,22 @@ class ExactSolver(Solver):
         preprocess_steps: Sequence[int] = ALL_STEPS,
         node_limit: int = DEFAULT_NODE_LIMIT,
         engine: str = "combinatorial",
+        jobs: int = 1,
         verify: bool = True,
     ):
-        super().__init__(verify=verify)
+        super().__init__(preprocess_steps=preprocess_steps, jobs=jobs, verify=verify)
         if engine not in ("combinatorial", "lp"):
             raise SolverError(f"unknown exact engine {engine!r}")
-        self.preprocess_steps = tuple(preprocess_steps)
         self.node_limit = node_limit
         self.engine = engine
 
-    def _solve(self, instance: MC3Instance) -> Tuple[Solution, Dict[str, object]]:
-        prep = preprocess(instance, steps=self.preprocess_steps)
-        selected: Set[Classifier] = set()
-        for component in prep.components:
-            wsc = mc3_to_wsc(component)
-            if self.engine == "lp":
-                wsc_solution = exact_wsc_lp(wsc)
-            else:
-                wsc_solution = exact_wsc(wsc, node_limit=self.node_limit)
-            selected |= {wsc.set_label(set_id) for set_id in wsc_solution.set_ids}
-        solution = prep.finalize(selected)
-        details: Dict[str, object] = {
-            "preprocess": prep.report.as_dict(),
-            "components": len(prep.components),
-        }
-        return solution, details
+    def solve_component(
+        self, component: MC3Instance
+    ) -> Tuple[Set[Classifier], Dict[str, object]]:
+        wsc = mc3_to_wsc(component)
+        if self.engine == "lp":
+            wsc_solution = exact_wsc_lp(wsc)
+        else:
+            wsc_solution = exact_wsc(wsc, node_limit=self.node_limit)
+        classifiers = {wsc.set_label(set_id) for set_id in wsc_solution.set_ids}
+        return classifiers, {}

@@ -9,16 +9,22 @@ cheaper output.  Combined guarantee:
 The ``f``-approximation is LP rounding when the constraint matrix is
 small enough for SciPy's HiGHS backend, and the primal–dual scheme
 (identical guarantee, linear time) beyond that threshold.
+
+Preprocessing, per-component dispatch (optionally across a process
+pool), merging, and the exact k ≤ 2 component routing all live in the
+shared engine — this module contributes only the per-component WSC
+solve.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.instance import MC3Instance
 from repro.core.properties import Classifier
-from repro.core.solution import Solution
-from repro.preprocess import ALL_STEPS, preprocess
+from repro.engine.component import ComponentOutcome
+from repro.engine.routing import EXACT_K2_ROUTE, Route, exact_k2_route
+from repro.preprocess import ALL_STEPS
 from repro.reductions import mc3_to_wsc
 from repro.setcover import (
     DEFAULT_SIZE_LIMIT,
@@ -27,10 +33,10 @@ from repro.setcover import (
     lp_rounding_wsc,
     primal_dual_wsc,
 )
-from repro.solvers.base import Solver
+from repro.solvers.base import ComponentSolver
 
 
-class GeneralSolver(Solver):
+class GeneralSolver(ComponentSolver):
     """Approximation solver for arbitrary query lengths (``MC3[G]``).
 
     Parameters
@@ -49,13 +55,17 @@ class GeneralSolver(Solver):
         Apply the redundancy post-pass to the f-approximation output
         (extension beyond the paper; can only lower the cost).
     dispatch_k2:
-        Solve property-disjoint components whose queries all have length
-        ≤ 2 with the *exact* max-flow path instead of the WSC
+        Enable the engine's :func:`~repro.engine.routing.exact_k2_route`:
+        property-disjoint components whose queries all have length ≤ 2
+        are solved with the *exact* max-flow path instead of the WSC
         approximation (extension beyond the paper).  Because components
         share no properties, composing per-component optima is exact
         (Observation 3.2), so this can only improve the output — it
         subsumes Short-First's idea at the component level without its
         cross-interaction loss.
+    jobs:
+        Worker processes for solving components in parallel; output is
+        identical to ``jobs=1``, only wall-clock differs.
     """
 
     name = "mc3-general"
@@ -67,54 +77,21 @@ class GeneralSolver(Solver):
         preprocess_steps: Sequence[int] = ALL_STEPS,
         prune: bool = False,
         dispatch_k2: bool = False,
+        jobs: int = 1,
         verify: bool = True,
     ):
-        super().__init__(verify=verify)
+        super().__init__(preprocess_steps=preprocess_steps, jobs=jobs, verify=verify)
         self.wsc_method = wsc_method
         self.lp_size_limit = lp_size_limit
-        self.preprocess_steps = tuple(preprocess_steps)
         self.prune = prune
         self.dispatch_k2 = dispatch_k2
 
-    def _solve(self, instance: MC3Instance) -> Tuple[Solution, Dict[str, object]]:
-        prep = preprocess(instance, steps=self.preprocess_steps)
-        selected: Set[Classifier] = set()
-        wins = {"greedy": 0, "f_approx": 0}
-        f_mode_used = set()
-        k2_dispatched = 0
-        for component in prep.components:
-            if self.dispatch_k2 and component.max_query_length <= 2:
-                selected |= self._solve_component_k2(component)
-                k2_dispatched += 1
-                continue
-            component_selection, winner, f_mode = self._solve_component(component)
-            selected |= component_selection
-            if winner:
-                wins[winner] += 1
-            if f_mode:
-                f_mode_used.add(f_mode)
-        solution = prep.finalize(selected)
-        details: Dict[str, object] = {
-            "preprocess": prep.report.as_dict(),
-            "components": len(prep.components),
-            "wsc_method": self.wsc_method,
-            "wins": wins,
-            "f_approximation_modes": sorted(f_mode_used),
-            "k2_dispatched": k2_dispatched,
-        }
-        return solution, details
+    def routes(self) -> Tuple[Route, ...]:
+        return (exact_k2_route(),) if self.dispatch_k2 else ()
 
-    def _solve_component_k2(self, component: MC3Instance) -> Set[Classifier]:
-        """Exact per-component solve through the Theorem 4.1 reduction;
-        local import avoids a circular dependency with the k2 module."""
-        from repro.solvers.k2 import K2Solver
-
-        solver = K2Solver(preprocess_steps=(), verify=False)
-        return set(solver.solve(component).solution.classifiers)
-
-    def _solve_component(
+    def solve_component(
         self, component: MC3Instance
-    ) -> Tuple[Set[Classifier], Optional[str], Optional[str]]:
+    ) -> Tuple[Set[Classifier], Dict[str, object]]:
         wsc = mc3_to_wsc(component)
 
         def f_approx() -> Tuple[object, str]:
@@ -144,4 +121,27 @@ class GeneralSolver(Solver):
                 wsc_solution, winner = f_solution, "f_approx"
 
         classifiers = {wsc.set_label(set_id) for set_id in wsc_solution.set_ids}
-        return classifiers, winner, f_mode
+        return classifiers, {"winner": winner, "f_mode": f_mode}
+
+    def aggregate_details(
+        self, outcomes: List[ComponentOutcome]
+    ) -> Dict[str, object]:
+        wins = {"greedy": 0, "f_approx": 0}
+        f_mode_used = set()
+        k2_dispatched = 0
+        for outcome in outcomes:
+            if outcome.route == EXACT_K2_ROUTE:
+                k2_dispatched += 1
+                continue
+            winner = outcome.details.get("winner")
+            if winner:
+                wins[winner] += 1
+            f_mode = outcome.details.get("f_mode")
+            if f_mode:
+                f_mode_used.add(f_mode)
+        return {
+            "wsc_method": self.wsc_method,
+            "wins": wins,
+            "f_approximation_modes": sorted(f_mode_used),
+            "k2_dispatched": k2_dispatched,
+        }

@@ -6,25 +6,27 @@ bipartite Weighted Vertex Cover (Theorem 4.1) → reduction to Max-Flow
 → translation back to classifiers.
 
 The solution is *optimal*: preprocessing preserves an optimal solution
-and the two reductions are exact.
+and the two reductions are exact.  The pipeline itself (preprocess →
+per-component dispatch → merge) is owned by the shared engine; this
+module contributes only the per-component algorithm, which lives in
+:func:`repro.engine.routing.solve_component_k2` so the engine can also
+route short components here from approximate solvers (``dispatch_k2``).
 """
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.core.costs import OverlayCost
 from repro.core.instance import MC3Instance
-from repro.core.properties import Classifier, Query
-from repro.core.solution import Solution
-from repro.exceptions import ReductionError, UncoverableQueryError
-from repro.preprocess import ALL_STEPS, preprocess
-from repro.reductions import mc3_to_bipartite_wvc, solve_bipartite_wvc
-from repro.solvers.base import Solver
+from repro.core.properties import Classifier
+from repro.engine.component import ComponentOutcome
+from repro.engine.routing import solve_component_k2
+from repro.exceptions import ReductionError
+from repro.preprocess import ALL_STEPS
+from repro.solvers.base import ComponentSolver
 
 
-class K2Solver(Solver):
+class K2Solver(ComponentSolver):
     """Exact MC³ solver for instances with maximal query length ≤ 2.
 
     Parameters
@@ -35,6 +37,9 @@ class K2Solver(Solver):
         Which Algorithm 1 steps to run first; the empty tuple disables
         preprocessing entirely (used by the Figure 3c ablation) — the
         result is still optimal, just slower.
+    jobs:
+        Worker processes for solving components in parallel (the
+        decomposition of Algorithm 1 step 2 makes them independent).
     """
 
     name = "mc3-k2"
@@ -43,60 +48,29 @@ class K2Solver(Solver):
         self,
         flow_algorithm: str = "dinic",
         preprocess_steps: Sequence[int] = ALL_STEPS,
+        jobs: int = 1,
         verify: bool = True,
     ):
-        super().__init__(verify=verify)
+        super().__init__(preprocess_steps=preprocess_steps, jobs=jobs, verify=verify)
         self.flow_algorithm = flow_algorithm
-        self.preprocess_steps = tuple(preprocess_steps)
 
-    def _solve(self, instance: MC3Instance) -> Tuple[Solution, Dict[str, object]]:
+    def validate_instance(self, instance: MC3Instance) -> None:
         if instance.max_query_length > 2:
             raise ReductionError(
                 f"K2Solver requires k <= 2, instance has k = {instance.max_query_length}"
             )
-        prep = preprocess(instance, steps=self.preprocess_steps)
-        selected: Set[Classifier] = set()
-        flow_value_total = 0.0
-        for component in prep.components:
-            component_selection, flow_value = self._solve_component(component)
-            selected |= component_selection
-            flow_value_total += flow_value
-        solution = prep.finalize(selected)
-        details: Dict[str, object] = {
-            "preprocess": prep.report.as_dict(),
-            "components": len(prep.components),
+
+    def solve_component(
+        self, component: MC3Instance
+    ) -> Tuple[Set[Classifier], Dict[str, object]]:
+        return solve_component_k2(component, flow_algorithm=self.flow_algorithm)
+
+    def aggregate_details(
+        self, outcomes: List[ComponentOutcome]
+    ) -> Dict[str, object]:
+        return {
             "flow_algorithm": self.flow_algorithm,
-            "flow_value": flow_value_total,
+            "flow_value": sum(
+                float(outcome.details.get("flow_value", 0.0)) for outcome in outcomes
+            ),
         }
-        return solution, details
-
-    def _solve_component(self, component: MC3Instance) -> Tuple[Set[Classifier], float]:
-        """Solve one property-disjoint component.
-
-        Singleton queries may survive when preprocessing step 1 is
-        disabled; their classifiers are forced here so the WVC reduction
-        receives only length-2 queries, keeping the no-preprocessing mode
-        correct.
-        """
-        forced: Set[Classifier] = set()
-        length_two: List[Query] = []
-        for q in component.queries:
-            if len(q) == 1:
-                if not math.isfinite(component.weight(q)):
-                    raise UncoverableQueryError(q)
-                forced.add(q)
-            else:
-                length_two.append(q)
-        if not length_two:
-            return forced, 0.0
-        cost = component.cost
-        if forced:
-            # Forced singletons are already paid for; the WVC must see
-            # them as free or it may buy a pair classifier redundantly.
-            overlay = OverlayCost(cost)
-            for clf in forced:
-                overlay.select(clf)
-            cost = overlay
-        graph = mc3_to_bipartite_wvc(length_two, cost)
-        cover, flow_value = solve_bipartite_wvc(graph, algorithm=self.flow_algorithm)
-        return forced | cover, flow_value

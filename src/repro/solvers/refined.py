@@ -11,6 +11,11 @@ if the repair costs less than ``W(c)``, the move is kept.
 This is an extension beyond the paper (its experiments stop at
 Algorithm 3); it preserves feasibility by construction, never increases
 cost, and inherits Algorithm 3's approximation guarantee trivially.
+
+The refinement is a *global* post-pass — it must see the merged
+selection including preprocessing's forced classifiers — so the solver
+runs the engine-backed :class:`GeneralSolver` first and refines its
+output, rather than refining per component.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from repro.core.instance import MC3Instance
 from repro.core.mincover import min_cover
 from repro.core.properties import Classifier, Query
 from repro.core.solution import Solution
+from repro.preprocess import ALL_STEPS
 from repro.solvers.base import Solver
 from repro.solvers.general import GeneralSolver
 
@@ -100,19 +106,36 @@ def refine_selection(
 
 
 class RefinedSolver(Solver):
-    """Algorithm 3 followed by remove-and-repair refinement."""
+    """Algorithm 3 followed by remove-and-repair refinement.
+
+    Exposes the same ``preprocess_steps`` / ``jobs`` / ``dispatch_k2``
+    knobs as the engine-backed solvers (they parameterise the inner
+    :class:`GeneralSolver`), so the Figure 3e/3f preprocessing ablation
+    and the component-parallel sweeps cover this solver uniformly.
+    """
 
     name = "mc3-refined"
 
     def __init__(
         self,
         max_rounds: int = 5,
+        preprocess_steps: Sequence[int] = ALL_STEPS,
+        dispatch_k2: bool = False,
+        jobs: int = 1,
         verify: bool = True,
         **general_kwargs,
     ):
-        super().__init__(verify=verify)
+        super().__init__(verify=verify, jobs=jobs)
         self.max_rounds = max_rounds
-        self._general = GeneralSolver(verify=False, **general_kwargs)
+        self.preprocess_steps = tuple(preprocess_steps)
+        self.dispatch_k2 = dispatch_k2
+        self._general = GeneralSolver(
+            preprocess_steps=preprocess_steps,
+            dispatch_k2=dispatch_k2,
+            jobs=jobs,
+            verify=False,
+            **general_kwargs,
+        )
 
     def _solve(self, instance: MC3Instance) -> Tuple[Solution, Dict[str, object]]:
         base = self._general.solve(instance)

@@ -1,8 +1,18 @@
-"""Solver registry: names → factories, as used by the experiment harness
-and the CLI."""
+"""Solver registry: names → parameterized factories, as used by the
+experiment harness and the CLI.
+
+Every factory accepts the engine-level keywords (``jobs``, ``verify``,
+and — where meaningful — ``preprocess_steps`` / ``dispatch_k2``) on top
+of its solver-specific parameters, so harnesses can wire component
+parallelism uniformly: ``make_solver(name, jobs=4)`` is valid for every
+registered solver.  :func:`solver_parameters` exposes each factory's
+signature for callers (e.g. the CLI) that need to know whether a flag
+applies before constructing.
+"""
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, List
 
 from repro.exceptions import SolverError
@@ -20,7 +30,7 @@ from repro.solvers.refined import RefinedSolver
 from repro.solvers.robust import RobustSolver
 from repro.solvers.short_first import ShortFirstSolver
 
-_FACTORIES: Dict[str, Callable[[], Solver]] = {
+_FACTORIES: Dict[str, Callable[..., Solver]] = {
     "mc3-k2": K2Solver,
     "mc3-general": GeneralSolver,
     "short-first": ShortFirstSolver,
@@ -39,12 +49,58 @@ def available_solvers() -> List[str]:
     return sorted(_FACTORIES)
 
 
-def make_solver(name: str, **kwargs) -> Solver:
-    """Instantiate a solver by name; keyword arguments go to its
-    constructor."""
+def _factory(name: str) -> Callable[..., Solver]:
     try:
-        factory = _FACTORIES[name]
+        return _FACTORIES[name]
     except KeyError:
         known = ", ".join(available_solvers())
         raise SolverError(f"unknown solver {name!r} (known: {known})") from None
+
+
+def solver_parameters(name: str) -> List[str]:
+    """Constructor parameter names accepted by a registered solver.
+
+    Factories with a ``**kwargs`` passthrough (e.g. ``mc3-refined``
+    forwarding to the general solver) report the passthrough target's
+    parameters too, so callers see the effective surface.
+    """
+    factory = _factory(name)
+    signature = inspect.signature(factory)
+    params: List[str] = []
+    passthrough = False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            passthrough = True
+            continue
+        params.append(parameter.name)
+    if passthrough and factory is RefinedSolver:
+        for extra in inspect.signature(GeneralSolver).parameters:
+            if extra not in params:
+                params.append(extra)
+    return params
+
+
+def supports_parameter(name: str, parameter: str) -> bool:
+    """Whether ``make_solver(name, parameter=...)`` is accepted."""
+    factory = _factory(name)
+    signature = inspect.signature(factory)
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in signature.parameters.values()
+    ):
+        return parameter in solver_parameters(name)
+    return parameter in signature.parameters
+
+
+def make_solver(name: str, **kwargs) -> Solver:
+    """Instantiate a solver by name; keyword arguments go to its
+    constructor.  Unknown keywords raise :class:`SolverError` naming the
+    supported parameters instead of a bare ``TypeError``."""
+    factory = _factory(name)
+    unsupported = [key for key in kwargs if not supports_parameter(name, key)]
+    if unsupported:
+        supported = ", ".join(solver_parameters(name))
+        raise SolverError(
+            f"solver {name!r} does not accept {sorted(unsupported)!r} "
+            f"(supported parameters: {supported})"
+        )
     return factory(**kwargs)

@@ -11,25 +11,25 @@ retains one).
 
 The paper's related work points to Set MultiCover for exactly this kind
 of model extension; the reduction of Section 5.2 carries over verbatim,
-only the element demands change.
+only the element demands change.  The preprocess/dispatch/merge
+pipeline is the shared engine's.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.instance import MC3Instance
 from repro.core.properties import Classifier
 from repro.core.solution import Solution
+from repro.engine.component import ComponentOutcome
 from repro.exceptions import SolverError, UncoverableQueryError
-from repro.preprocess import ALL_STEPS, preprocess
 from repro.reductions import mc3_to_wsc
 from repro.setcover.multicover import greedy_multicover
-from repro.solvers.base import Solver
+from repro.solvers.base import ComponentSolver
 
 
-class RobustSolver(Solver):
+class RobustSolver(ComponentSolver):
     """Approximate r-redundant MC³ via greedy set multi-cover.
 
     Parameters
@@ -41,6 +41,12 @@ class RobustSolver(Solver):
         removing a dominated classifier shrinks the pool redundancy
         draws from, and forced selections count only once toward ``r``.
         Steps 1 and 2 (forced singletons, decomposition) remain safe.
+    jobs:
+        Worker processes for solving components in parallel.
+
+    The engine's exact k ≤ 2 route is deliberately *not* offered here:
+    the max-flow path solves the r = 1 problem and would silently drop
+    the redundancy requirement on routed components.
     """
 
     name = "mc3-robust"
@@ -49,41 +55,39 @@ class RobustSolver(Solver):
         self,
         redundancy: int = 2,
         preprocess_steps: Sequence[int] = (2,),
+        jobs: int = 1,
         verify: bool = True,
     ):
-        super().__init__(verify=verify)
+        super().__init__(preprocess_steps=preprocess_steps, jobs=jobs, verify=verify)
         if redundancy < 1:
             raise SolverError("redundancy must be >= 1")
         self.redundancy = int(redundancy)
-        self.preprocess_steps = tuple(preprocess_steps)
 
-    def _solve(self, instance: MC3Instance) -> Tuple[Solution, Dict[str, object]]:
-        prep = preprocess(instance, steps=self.preprocess_steps)
-        selected: Set[Classifier] = set(prep.forced)
-        for component in prep.components:
-            wsc = mc3_to_wsc(component)
-            demands = []
-            for element_id in range(wsc.universe_size):
-                available = len(wsc.sets_containing(element_id))
-                if available < self.redundancy:
-                    prop, query_index = wsc.element_label(element_id)
-                    raise UncoverableQueryError(
-                        component.queries[query_index],
-                        f"property {prop!r} of query "
-                        f"{sorted(component.queries[query_index])!r} has only "
-                        f"{available} candidate classifiers "
-                        f"(< redundancy {self.redundancy})",
-                    )
-                demands.append(self.redundancy)
-            solution = greedy_multicover(wsc, demands)
-            selected |= {wsc.set_label(set_id) for set_id in solution.set_ids}
-        full = Solution.from_instance(selected, instance)
-        details: Dict[str, object] = {
-            "redundancy": self.redundancy,
-            "preprocess": prep.report.as_dict(),
-            "components": len(prep.components),
-        }
-        return full, details
+    def solve_component(
+        self, component: MC3Instance
+    ) -> Tuple[Set[Classifier], Dict[str, object]]:
+        wsc = mc3_to_wsc(component)
+        demands = []
+        for element_id in range(wsc.universe_size):
+            available = len(wsc.sets_containing(element_id))
+            if available < self.redundancy:
+                prop, query_index = wsc.element_label(element_id)
+                raise UncoverableQueryError(
+                    component.queries[query_index],
+                    f"property {prop!r} of query "
+                    f"{sorted(component.queries[query_index])!r} has only "
+                    f"{available} candidate classifiers "
+                    f"(< redundancy {self.redundancy})",
+                )
+            demands.append(self.redundancy)
+        solution = greedy_multicover(wsc, demands)
+        classifiers = {wsc.set_label(set_id) for set_id in solution.set_ids}
+        return classifiers, {}
+
+    def aggregate_details(
+        self, outcomes: List[ComponentOutcome]
+    ) -> Dict[str, object]:
+        return {"redundancy": self.redundancy}
 
 
 def survives_failures(

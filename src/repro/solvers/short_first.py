@@ -5,6 +5,13 @@ with Algorithm 2, then hand the residual long queries to Algorithm 3
 with the already-bought classifiers marked free.  On loads like the
 fashion category (96% short) the paper reports this beats running
 Algorithm 3 on everything.
+
+Both phases run on the shared engine (via :class:`K2Solver` and
+:class:`GeneralSolver`), so the ``preprocess_steps`` / ``jobs`` /
+``dispatch_k2`` knobs apply to each phase uniformly.  The split itself
+stays *above* the engine: it partitions by query length before any
+preprocessing, which is a different axis than the engine's
+property-disjoint component routing.
 """
 
 from __future__ import annotations
@@ -34,9 +41,11 @@ class ShortFirstSolver(Solver):
         wsc_method: str = "best_of",
         lp_size_limit: Optional[int] = DEFAULT_SIZE_LIMIT,
         preprocess_steps: Sequence[int] = ALL_STEPS,
+        dispatch_k2: bool = False,
+        jobs: int = 1,
         verify: bool = True,
     ):
-        super().__init__(verify=verify)
+        super().__init__(verify=verify, jobs=jobs)
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
         self.threshold = threshold
@@ -44,6 +53,7 @@ class ShortFirstSolver(Solver):
         self.wsc_method = wsc_method
         self.lp_size_limit = lp_size_limit
         self.preprocess_steps = tuple(preprocess_steps)
+        self.dispatch_k2 = dispatch_k2
 
     def _solve(self, instance: MC3Instance) -> Tuple[Solution, Dict[str, object]]:
         short, long_ = instance.split_by_length(self.threshold)
@@ -54,6 +64,7 @@ class ShortFirstSolver(Solver):
             k2 = K2Solver(
                 flow_algorithm=self.flow_algorithm,
                 preprocess_steps=self.preprocess_steps,
+                jobs=self.jobs,
                 verify=False,  # the combined solution is verified once
             )
             short_result = k2.solve(short)
@@ -71,6 +82,8 @@ class ShortFirstSolver(Solver):
                 wsc_method=self.wsc_method,
                 lp_size_limit=self.lp_size_limit,
                 preprocess_steps=self.preprocess_steps,
+                dispatch_k2=self.dispatch_k2,
+                jobs=self.jobs,
                 verify=False,
             )
             long_result = general.solve(residual)
