@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-full examples lint clean
+.PHONY: install test bench bench-save experiments experiments-full examples lint clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Bitset-core micro-benchmarks: reference (frozenset) vs. rewritten
+# (bitmask) kernels, median timings written to BENCH_core.json.
+bench-save:
+	$(PYTHON) benchmarks/bench_bitspace.py --save BENCH_core.json
 
 experiments:
 	$(PYTHON) -m repro.experiments all

@@ -11,6 +11,12 @@ This primitive backs:
   least costly cover ... of a single query over all queries";
 * preprocessing step 3's forced-cover detection; and
 * the exact solver's per-component enumeration on tiny components.
+
+The DP and the irredundant-cover enumeration run on query-local bit
+masks.  :func:`min_cover_local` / :func:`enumerate_covers_local` expose
+that mask-native core directly so mask-based callers (the bitset
+dominated pruner) skip the frozenset marshalling the public
+:func:`min_cover` / :func:`enumerate_covers` wrappers still provide.
 """
 
 from __future__ import annotations
@@ -35,6 +41,58 @@ class QueryCover:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         labels = ", ".join("+".join(sorted(c)) for c in self.classifiers)
         return f"<QueryCover cost={self.cost} via [{labels}]>"
+
+
+def min_cover_local(
+    full: int, usable: Sequence[Tuple[int, float]]
+) -> Optional[Tuple[float, List[int]]]:
+    """Mask-native min-cover DP.
+
+    ``usable`` holds ``(mask, weight)`` pairs over query-local bits
+    (``full`` is the all-ones target mask); the caller guarantees masks
+    are non-empty submasks of ``full`` with finite weights.  Returns
+    ``(cost, chosen indices)`` — indices into ``usable`` in selection
+    order — or ``None`` when ``full`` is unreachable.  Ties break toward
+    fewer sets, then earliest ``usable`` order, exactly as the public
+    wrapper always has.
+    """
+    INF = math.inf
+    size = full + 1
+    dp_cost = [INF] * size
+    dp_count = [0] * size
+    back: List[Optional[Tuple[int, int]]] = [None] * size  # (prev_mask, usable_idx)
+    dp_cost[0] = 0.0
+
+    # Masks only ever grow when a set is added, so a single ascending pass
+    # over masks relaxes every useful transition exactly once.
+    for mask in range(size):
+        cost_here = dp_cost[mask]
+        if cost_here is INF:
+            continue
+        count_here = dp_count[mask]
+        for idx, (clf_mask, weight) in enumerate(usable):
+            nxt = mask | clf_mask
+            if nxt == mask:
+                continue
+            new_cost = cost_here + weight
+            if new_cost < dp_cost[nxt] or (
+                new_cost == dp_cost[nxt] and count_here + 1 < dp_count[nxt]
+            ):
+                dp_cost[nxt] = new_cost
+                dp_count[nxt] = count_here + 1
+                back[nxt] = (mask, idx)
+
+    if dp_cost[full] is INF:
+        return None
+
+    chosen: List[int] = []
+    mask = full
+    while mask:
+        prev_mask, idx = back[mask]  # type: ignore[misc]
+        chosen.append(idx)
+        mask = prev_mask
+    chosen.reverse()
+    return dp_cost[full], chosen
 
 
 def min_cover(
@@ -62,59 +120,14 @@ def min_cover(
     whose total weight is minimal, with ties broken toward fewer
     classifiers and then deterministic enumeration order.
     """
-    props = sorted(q)
-    index = {prop: i for i, prop in enumerate(props)}
-    full = (1 << len(props)) - 1
-
-    usable: List[Tuple[int, float, Classifier]] = []
-    for clf, weight in candidates:
-        if not clf or not clf <= q or not math.isfinite(weight):
-            continue
-        mask = 0
-        for prop in clf:
-            mask |= 1 << index[prop]
-        usable.append((mask, weight, clf))
-
-    # dp maps covered-mask -> (cost, classifier count, back-pointer).
-    INF = math.inf
-    size = full + 1
-    dp_cost = [INF] * size
-    dp_count = [0] * size
-    back: List[Optional[Tuple[int, int]]] = [None] * size  # (prev_mask, usable_idx)
-    dp_cost[0] = 0.0
-
-    # Masks only ever grow when a set is added, so a single ascending pass
-    # over masks relaxes every useful transition exactly once.
-    for mask in range(size):
-        cost_here = dp_cost[mask]
-        if cost_here is INF:
-            continue
-        count_here = dp_count[mask]
-        for idx, (clf_mask, weight, _clf) in enumerate(usable):
-            nxt = mask | clf_mask
-            if nxt == mask:
-                continue
-            new_cost = cost_here + weight
-            if new_cost < dp_cost[nxt] or (
-                new_cost == dp_cost[nxt] and count_here + 1 < dp_count[nxt]
-            ):
-                dp_cost[nxt] = new_cost
-                dp_count[nxt] = count_here + 1
-                back[nxt] = (mask, idx)
-
-    if dp_cost[full] is INF:
+    full, usable, payload = _compress_candidates(q, candidates)
+    outcome = min_cover_local(full, usable)
+    if outcome is None:
         if required:
             raise UncoverableQueryError(q)
         return None
-
-    chosen: List[Classifier] = []
-    mask = full
-    while mask:
-        prev_mask, idx = back[mask]  # type: ignore[misc]
-        chosen.append(usable[idx][2])
-        mask = prev_mask
-    chosen.reverse()
-    return QueryCover(q, tuple(chosen), dp_cost[full])
+    cost, chosen = outcome
+    return QueryCover(q, tuple(payload[idx] for idx in chosen), cost)
 
 
 def min_cover_from_model(q: Query, instance) -> Optional[QueryCover]:
@@ -124,37 +137,19 @@ def min_cover_from_model(q: Query, instance) -> Optional[QueryCover]:
     return min_cover(q, pairs, required=False)
 
 
-def enumerate_covers(
-    q: Query,
-    candidates: Sequence[Tuple[Classifier, float]],
+def enumerate_covers_local(
+    full: int,
+    usable: Sequence[Tuple[int, float]],
     limit: Optional[int] = None,
     node_budget: Optional[int] = None,
-) -> List[QueryCover]:
-    """Enumerate minimal (irredundant) covers of ``q``.
+) -> Tuple[List[Tuple[Tuple[int, ...], float]], bool]:
+    """Mask-native irredundant-cover enumeration.
 
-    A cover is *irredundant* if removing any classifier leaves the query
-    uncovered.  Exponential in the worst case; used by preprocessing's
-    "only one cover possibility" test on small queries and by tests.
-
-    ``limit`` stops the search after that many covers (the uniqueness
-    test only needs two).  ``node_budget`` caps the search-tree size; on
-    exhaustion the function returns the covers found so far *plus* a
-    sentinel duplicate of the last one when at least one was found, so
-    callers testing "exactly one cover" conservatively see "more than
-    one" rather than a false unique.
+    Returns ``(covers, exhausted)`` where each cover is ``(usable
+    indices, total weight)`` in deterministic search order, and
+    ``exhausted`` reports whether ``node_budget`` cut the search short.
     """
-    props = sorted(q)
-    index = {prop: i for i, prop in enumerate(props)}
-    full = (1 << len(props)) - 1
-    usable = []
-    for clf, weight in candidates:
-        if clf and clf <= q and math.isfinite(weight):
-            mask = 0
-            for prop in clf:
-                mask |= 1 << index[prop]
-            usable.append((mask, weight, clf))
-
-    results: List[QueryCover] = []
+    results: List[Tuple[Tuple[int, ...], float]] = []
     nodes = [0]
     exhausted = [False]
 
@@ -182,9 +177,8 @@ def enumerate_covers(
             return
         if mask == full:
             if is_irredundant(picked):
-                clfs = tuple(usable[i][2] for i in picked)
                 cost = sum(usable[i][1] for i in picked)
-                results.append(QueryCover(q, clfs, cost))
+                results.append((tuple(picked), cost))
             return
         for idx in range(start, len(usable)):
             if done():
@@ -197,6 +191,59 @@ def enumerate_covers(
             picked.pop()
 
     recurse(0, 0, [])
-    if exhausted[0] and results:
+    return results, exhausted[0]
+
+
+def enumerate_covers(
+    q: Query,
+    candidates: Sequence[Tuple[Classifier, float]],
+    limit: Optional[int] = None,
+    node_budget: Optional[int] = None,
+) -> List[QueryCover]:
+    """Enumerate minimal (irredundant) covers of ``q``.
+
+    A cover is *irredundant* if removing any classifier leaves the query
+    uncovered.  Exponential in the worst case; used by preprocessing's
+    "only one cover possibility" test on small queries and by tests.
+
+    ``limit`` stops the search after that many covers (the uniqueness
+    test only needs two).  ``node_budget`` caps the search-tree size; on
+    exhaustion the function returns the covers found so far *plus* a
+    sentinel duplicate of the last one when at least one was found, so
+    callers testing "exactly one cover" conservatively see "more than
+    one" rather than a false unique.
+    """
+    full, usable, payload = _compress_candidates(q, candidates)
+    raw, exhausted = enumerate_covers_local(full, usable, limit, node_budget)
+    results = [
+        QueryCover(q, tuple(payload[idx] for idx in picked), cost)
+        for picked, cost in raw
+    ]
+    if exhausted and results:
         results.append(results[-1])
     return results
+
+
+def _compress_candidates(
+    q: Query, candidates: Iterable[Tuple[Classifier, float]]
+) -> Tuple[int, List[Tuple[int, float]], List[Classifier]]:
+    """Filter candidates to usable ones and intern them to local masks.
+
+    Bit ``i`` is the ``i``-th property of ``q`` in sorted order, the
+    same assignment :class:`~repro.core.bitspace.PropertySpace` uses, so
+    enumeration orders (and with them DP tie-breaks) match the
+    historical frozenset behaviour.
+    """
+    index: Dict[str, int] = {prop: i for i, prop in enumerate(sorted(q))}
+    full = (1 << len(index)) - 1
+    usable: List[Tuple[int, float]] = []
+    payload: List[Classifier] = []
+    for clf, weight in candidates:
+        if not clf or not clf <= q or not math.isfinite(weight):
+            continue
+        mask = 0
+        for prop in clf:
+            mask |= 1 << index[prop]
+        usable.append((mask, weight))
+        payload.append(clf)
+    return full, usable, payload

@@ -87,7 +87,13 @@ class SolveEngine:
         selected = set()
         for outcome in outcomes:  # already in component index order
             selected |= outcome.classifiers
-            telemetry.record_component(outcome.size, outcome.seconds, outcome.route)
+            bitspace = outcome.details.get("bitspace")
+            telemetry.record_component(
+                outcome.size,
+                outcome.seconds,
+                outcome.route,
+                bitspace if isinstance(bitspace, dict) else None,
+            )
         solution = prep.finalize(selected)
         telemetry.merge_seconds = time.perf_counter() - merge_started
 

@@ -46,6 +46,9 @@ class EngineTelemetry:
         "component_sizes",
         "component_seconds",
         "routed",
+        "bitspace_properties",
+        "bitspace_elements",
+        "bitspace_sets",
     )
 
     def __init__(self, jobs: int, mode: str):
@@ -57,14 +60,44 @@ class EngineTelemetry:
         self.component_sizes: List[int] = []
         self.component_seconds: List[float] = []
         self.routed: Dict[str, int] = {}
+        # Per-component bitset property-space footprints (components
+        # whose solver reported a "bitspace" details entry — i.e. went
+        # through the interned-mask WSC path rather than e.g. max-flow).
+        self.bitspace_properties: List[int] = []
+        self.bitspace_elements: List[int] = []
+        self.bitspace_sets: List[int] = []
 
     def record_component(
-        self, size: int, seconds: float, route: Optional[str]
+        self,
+        size: int,
+        seconds: float,
+        route: Optional[str],
+        bitspace: Optional[Dict[str, int]] = None,
     ) -> None:
         self.component_sizes.append(size)
         self.component_seconds.append(seconds)
         if route is not None:
             self.routed[route] = self.routed.get(route, 0) + 1
+        if bitspace is not None:
+            self.bitspace_properties.append(int(bitspace.get("properties", 0)))
+            self.bitspace_elements.append(int(bitspace.get("elements", 0)))
+            self.bitspace_sets.append(int(bitspace.get("sets", 0)))
+
+    def bitspace_summary(self) -> Dict[str, int]:
+        """Aggregate interning footprint across mask-path components.
+
+        ``max_properties`` is the widest mask any component needed — the
+        number that shows whether the per-component interning scope is
+        doing its job of keeping masks machine-word sized.
+        """
+        props = self.bitspace_properties
+        return {
+            "components": len(props),
+            "max_properties": max(props) if props else 0,
+            "total_properties": sum(props),
+            "total_elements": sum(self.bitspace_elements),
+            "total_sets": sum(self.bitspace_sets),
+        }
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -77,4 +110,5 @@ class EngineTelemetry:
             "component_seconds": list(self.component_seconds),
             "component_size_histogram": size_histogram(self.component_sizes),
             "routed": dict(self.routed),
+            "bitspace": self.bitspace_summary(),
         }

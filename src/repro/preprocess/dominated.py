@@ -13,6 +13,16 @@ After a pass, queries that are left with a single irredundant cover get
 that cover *selected* (line 10), and the pass repeats for classifiers
 intersecting the selections (line 11) — selection zeroes weights, which
 can enable further removals.
+
+Internally the pass runs entirely on interned integer bitmasks (one
+:class:`~repro.core.bitspace.PropertySpace` per component): subset
+tests, the decomposition cache, and the effective-weight memo are all
+mask-keyed, so the ``O(3^len)`` inner loop does machine-word arithmetic
+instead of frozenset allocation.  The public surface — frozenset
+queries in, frozenset removals/selections out, write-through to the
+shared :class:`~repro.core.costs.OverlayCost` — is unchanged, and the
+decisions are bit-identical to the frozenset implementation
+(:mod:`repro.core.reference` keeps that claim executable).
 """
 
 from __future__ import annotations
@@ -20,16 +30,10 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core.bitspace import MaskCost, PropertySpace, mask_union, popcount
 from repro.core.costs import OverlayCost
-from repro.core.mincover import enumerate_covers
-from repro.core.properties import (
-    Classifier,
-    PropertySet,
-    Query,
-    iter_nonempty_subsets,
-    iter_two_covers,
-    iter_two_partitions,
-)
+from repro.core.mincover import enumerate_covers_local
+from repro.core.properties import Classifier, Query
 
 #: Beyond this classifier length the ``O(3^len)`` full decomposition
 #: enumeration switches to the ``O(2^len)`` disjoint-only family (still a
@@ -62,73 +66,81 @@ class DominatedPruner:
         self.queries = list(queries)
         self.overlay = overlay
         self.max_classifier_length = max_classifier_length
+        # The component's property universe, interned once; every hot
+        # structure below is keyed by mask, not frozenset.
+        self.space = PropertySpace.from_queries(self.queries)
+        self._cost = MaskCost(self.space, overlay)
+        self._query_masks = [self.space.mask_of(q) for q in self.queries]
         # Effective weight: cheapest way to obtain S's covering power from
         # shorter classifiers (or S itself).
-        self._effective: Dict[PropertySet, float] = {}
+        self._effective: Dict[int, float] = {}
         self.removed: Set[Classifier] = set()
+        self._removed_masks: Set[int] = set()
         self.forced: List[Classifier] = []
-        self._universe_cache: Optional[List[Classifier]] = None
+        self._universe_cache: Optional[List[int]] = None
         # Decomposition pairs per classifier never change (only their
         # costs do), so they are materialised once and reused across the
         # fixpoint re-passes.
-        self._decomposition_cache: Dict[Classifier, Tuple[Tuple[Classifier, Classifier], ...]] = {}
+        self._decomposition_cache: Dict[int, Tuple[Tuple[int, int], ...]] = {}
 
     # ------------------------------------------------------------------
 
-    def _universe(self) -> List[Classifier]:
-        """All candidate classifiers of the component, by increasing
+    def _universe(self) -> List[int]:
+        """All candidate classifier masks of the component, by increasing
         length then label, deduplicated.  Computed once — removals are
         tracked separately and never shrink this list."""
         if self._universe_cache is None:
-            seen: Set[Classifier] = set()
-            ordered: List[Classifier] = []
-            for q in self.queries:
-                for clf in iter_nonempty_subsets(q, self.max_classifier_length):
-                    if clf not in seen:
-                        seen.add(clf)
-                        ordered.append(clf)
+            seen: Set[int] = set()
+            ordered: List[int] = []
+            for qmask in self._query_masks:
+                for mask in self.space.iter_subset_masks(
+                    qmask, self.max_classifier_length
+                ):
+                    if mask not in seen:
+                        seen.add(mask)
+                        ordered.append(mask)
             # Stable sort by length keeps the deterministic per-query
             # enumeration order within each length class.
-            ordered.sort(key=len)
+            ordered.sort(key=popcount)
             self._universe_cache = ordered
         return self._universe_cache
 
     def effective_weight(self, clf: Classifier) -> float:
         """Weight of ``clf`` or of its cheapest recorded decomposition."""
-        memo = self._effective.get(clf)
-        direct = self.overlay.cost(clf)
+        mask = self.space.mask_of(clf)
+        memo = self._effective.get(mask)
+        direct = self._cost.cost(mask)
         if memo is None:
             return direct
         return min(memo, direct)
 
-    def _decompositions(self, clf: Classifier):
-        cached = self._decomposition_cache.get(clf)
+    def _decompositions(self, mask: int) -> Tuple[Tuple[int, int], ...]:
+        cached = self._decomposition_cache.get(mask)
         if cached is not None:
             return cached
-        if len(clf) == 2:
-            # The only pair of proper subsets with union XY is (X, Y).
-            x, y = clf
-            pairs: Tuple[Tuple[Classifier, Classifier], ...] = (
-                (frozenset((x,)), frozenset((y,))),
-            )
-        elif len(clf) <= FULL_ENUMERATION_MAX_LENGTH:
-            pairs = tuple(iter_two_covers(clf))
+        length = popcount(mask)
+        if length == 2:
+            # The only pair of proper submasks with union XY is (X, Y).
+            low = mask & -mask
+            pairs: Tuple[Tuple[int, int], ...] = ((low, mask ^ low),)
+        elif length <= FULL_ENUMERATION_MAX_LENGTH:
+            pairs = tuple(self.space.iter_two_cover_masks(mask))
         else:
-            pairs = tuple(iter_two_partitions(clf))
-        self._decomposition_cache[clf] = pairs
+            pairs = tuple(self.space.iter_two_partition_masks(mask))
+        self._decomposition_cache[mask] = pairs
         return pairs
 
-    def _cheapest_decomposition(self, clf: Classifier) -> float:
+    def _cheapest_decomposition(self, mask: int) -> float:
         best = math.inf
         memo = self._effective
-        overlay_cost = self.overlay.cost
-        for part_a, part_b in self._decompositions(clf):
+        cost = self._cost.cost
+        for part_a, part_b in self._decompositions(mask):
             # Inlined effective_weight: min(memoised decomposition, direct).
-            weight = overlay_cost(part_a)
+            weight = cost(part_a)
             cached = memo.get(part_a)
             if cached is not None and cached < weight:
                 weight = cached
-            direct_b = overlay_cost(part_b)
+            direct_b = cost(part_b)
             cached_b = memo.get(part_b)
             if cached_b is not None and cached_b < direct_b:
                 direct_b = cached_b
@@ -139,7 +151,7 @@ class DominatedPruner:
 
     # ------------------------------------------------------------------
 
-    def _pass_remove(self, targets: Optional[Iterable[Classifier]] = None) -> int:
+    def _pass_remove(self, targets: Optional[Iterable[int]] = None) -> int:
         """One removal sweep; returns the number of removals.
 
         Classifiers are processed by increasing length so shorter parts'
@@ -150,76 +162,105 @@ class DominatedPruner:
         if targets is None:
             universe = self._universe()
         else:
-            universe = sorted(set(targets), key=len)
+            universe = sorted(set(targets), key=popcount)
         removed_count = 0
-        overlay_cost = self.overlay.cost
+        cost = self._cost.cost
         effective = self._effective
-        for clf in universe:
-            if len(clf) < 2 or clf in self.removed:
+        removed_masks = self._removed_masks
+        for mask in universe:
+            length = popcount(mask)
+            if length < 2 or mask in removed_masks:
                 continue
-            if len(clf) == 2:
+            if length == 2:
                 # Inlined fast path: the only decomposition is (X, Y), and
                 # singletons are never removed by this step, so their
                 # effective weight is just their overlay weight.
-                x, y = clf
-                decomposition_cost = overlay_cost(frozenset((x,))) + overlay_cost(
-                    frozenset((y,))
-                )
+                low = mask & -mask
+                decomposition_cost = cost(low) + cost(mask ^ low)
             else:
-                decomposition_cost = self._cheapest_decomposition(clf)
-            direct = overlay_cost(clf)
-            effective[clf] = min(direct, decomposition_cost)
+                decomposition_cost = self._cheapest_decomposition(mask)
+            direct = cost(mask)
+            effective[mask] = min(direct, decomposition_cost)
             if math.isfinite(direct) and decomposition_cost <= direct:
-                self.overlay.remove(clf)
-                self.removed.add(clf)
+                self._cost.remove(mask)
+                removed_masks.add(mask)
+                self.removed.add(self.space.set_of(mask))
                 removed_count += 1
         return removed_count
 
-    def _available_candidates(self, q: Query) -> List[Tuple[Classifier, float]]:
+    def _available_candidates(self, qmask: int) -> List[Tuple[int, float]]:
+        cost = self._cost.cost
         pairs = []
-        for clf in iter_nonempty_subsets(q, self.max_classifier_length):
-            weight = self.overlay.cost(clf)
+        for mask in self.space.iter_subset_masks(qmask, self.max_classifier_length):
+            weight = cost(mask)
             if math.isfinite(weight):
-                pairs.append((clf, weight))
+                pairs.append((mask, weight))
         return pairs
 
-    def _detect_forced_covers(self, uncovered: Sequence[Query]) -> List[Classifier]:
+    def _detect_forced_covers(self, uncovered: Sequence[int]) -> List[int]:
         """Queries with a single irredundant cover force its classifiers
-        (Algorithm 1, line 10)."""
-        newly_forced: List[Classifier] = []
-        for q in uncovered:
-            if len(q) > FORCED_COVER_MAX_LENGTH:
+        (Algorithm 1, line 10).  Takes and returns masks."""
+        newly_forced: List[int] = []
+        for qmask in uncovered:
+            length = popcount(qmask)
+            if length > FORCED_COVER_MAX_LENGTH:
                 continue
-            if len(q) == 2:
-                unique = self._unique_cover_k2(q)
+            if length == 2:
+                unique = self._unique_cover_k2(qmask)
             else:
-                candidates = self._available_candidates(q)
+                candidates = self._available_candidates(qmask)
                 if len(candidates) > FORCED_COVER_MAX_CANDIDATES:
                     continue
-                covers = enumerate_covers(
-                    q, candidates, limit=2, node_budget=FORCED_COVER_NODE_BUDGET
-                )
-                unique = covers[0].classifiers if len(covers) == 1 else None
+                unique = self._unique_cover(qmask, candidates)
             if unique is not None:
-                for clf in unique:
-                    if self.overlay.cost(clf) > 0:
-                        self.overlay.select(clf)
-                        newly_forced.append(clf)
+                for mask in unique:
+                    if self._cost.cost(mask) > 0:
+                        self._cost.select(mask)
+                        newly_forced.append(mask)
         return newly_forced
 
-    def _unique_cover_k2(self, q: Query) -> Optional[Tuple[Classifier, ...]]:
+    def _unique_cover(
+        self, qmask: int, candidates: List[Tuple[int, float]]
+    ) -> Optional[Tuple[int, ...]]:
+        """Mask-level uniqueness test via the irredundant-cover search.
+
+        Candidate masks are compressed to query-local bits (ascending
+        component bits → ascending local bits) so the search order, and
+        therefore the budget-exhaustion behaviour, matches the
+        frozenset-era enumeration exactly.
+        """
+        bits = self.space.bits_of(qmask)
+        local_of = {bit: i for i, bit in enumerate(bits)}
+        full = (1 << len(bits)) - 1
+        usable: List[Tuple[int, float]] = []
+        for mask, weight in candidates:
+            local = 0
+            sub = mask
+            while sub:
+                low = sub & -sub
+                local |= 1 << local_of[low.bit_length() - 1]
+                sub ^= low
+            usable.append((local, weight))
+        covers, exhausted = enumerate_covers_local(
+            full, usable, limit=2, node_budget=FORCED_COVER_NODE_BUDGET
+        )
+        if exhausted or len(covers) != 1:
+            return None
+        picked, _cost = covers[0]
+        return tuple(candidates[idx][0] for idx in picked)
+
+    def _unique_cover_k2(self, qmask: int) -> Optional[Tuple[int, ...]]:
         """Closed form of the uniqueness test for length-2 queries: the
         only irredundant covers are {XY} and {X, Y}."""
-        x, y = sorted(q)
-        singleton_x = frozenset((x,))
-        singleton_y = frozenset((y,))
-        pair = frozenset(q)
-        pair_ok = math.isfinite(self.overlay.cost(pair))
-        singles_ok = math.isfinite(self.overlay.cost(singleton_x)) and math.isfinite(
-            self.overlay.cost(singleton_y)
+        singleton_x = qmask & -qmask
+        singleton_y = qmask ^ singleton_x
+        cost = self._cost.cost
+        pair_ok = math.isfinite(cost(qmask))
+        singles_ok = math.isfinite(cost(singleton_x)) and math.isfinite(
+            cost(singleton_y)
         )
         if pair_ok and not singles_ok:
-            return (pair,)
+            return (qmask,)
         if singles_ok and not pair_ok:
             return (singleton_x, singleton_y)
         return None
@@ -235,56 +276,62 @@ class DominatedPruner:
         re-examines queries touching the affected properties — the rest
         cannot have changed.
         """
-        queries_by_property: Dict[str, List[Query]] = {}
-        for q in uncovered:
-            for prop in q:
-                queries_by_property.setdefault(prop, []).append(q)
-        alive: Dict[Query, None] = dict.fromkeys(uncovered)
+        space = self.space
+        uncovered_masks = [space.mask_of(q) for q in uncovered]
+        queries_by_bit: Dict[int, List[int]] = {}
+        for qmask in uncovered_masks:
+            for bit in space.bits_of(qmask):
+                queries_by_bit.setdefault(bit, []).append(qmask)
+        alive: Dict[int, None] = dict.fromkeys(uncovered_masks)
 
         total_removed = self._pass_remove()
-        pending: Sequence[Query] = list(alive)
+        pending: Sequence[int] = list(alive)
         while True:
             forced_now = self._detect_forced_covers(pending)
             if not forced_now:
                 break
-            self.forced.extend(forced_now)
-            affected_props = set().union(*forced_now)
+            self.forced.extend(space.set_of(mask) for mask in forced_now)
+            affected_mask = mask_union(forced_now)
             # Queries sharing a property with the selections are the only
             # ones whose cover options changed; of those, the ones the
             # selections fully covered leave the game entirely.
-            affected: List[Query] = []
-            seen_affected = set()
-            for prop in affected_props:
-                for q in queries_by_property.get(prop, ()):  # noqa: B905
-                    if q in alive and q not in seen_affected:
-                        seen_affected.add(q)
-                        affected.append(q)
-            still_uncovered: List[Query] = []
-            for q in affected:
-                if self._covered_by_selected(q):
-                    del alive[q]
+            affected: List[int] = []
+            seen_affected: Set[int] = set()
+            for bit in space.bits_of(affected_mask):
+                for qmask in queries_by_bit.get(bit, ()):
+                    if qmask in alive and qmask not in seen_affected:
+                        seen_affected.add(qmask)
+                        affected.append(qmask)
+            still_uncovered: List[int] = []
+            for qmask in affected:
+                if self._covered_by_selected(qmask):
+                    del alive[qmask]
                 else:
-                    still_uncovered.append(q)
+                    still_uncovered.append(qmask)
             # Re-examine only classifiers of still-uncovered queries:
             # removals among covered queries' classifiers can never
             # influence the residual problem.
-            touched = set()
-            for q in still_uncovered:
-                for clf in iter_nonempty_subsets(q, self.max_classifier_length):
-                    if clf & affected_props and clf not in self.removed:
-                        touched.add(clf)
+            touched: Set[int] = set()
+            for qmask in still_uncovered:
+                for mask in space.iter_subset_masks(
+                    qmask, self.max_classifier_length
+                ):
+                    if mask & affected_mask and mask not in self._removed_masks:
+                        touched.add(mask)
                         # Invalidate memo so the zeroed selections are seen.
-                        self._effective.pop(clf, None)
+                        self._effective.pop(mask, None)
             total_removed += self._pass_remove(touched)
             pending = still_uncovered
         return total_removed, self.forced
 
-    def _covered_by_selected(self, q: Query) -> bool:
-        """Whether zero-weight (selected) classifiers already cover ``q``."""
-        remaining = set(q)
-        for clf in iter_nonempty_subsets(q, self.max_classifier_length):
-            if self.overlay.cost(clf) == 0:
-                remaining -= clf
+    def _covered_by_selected(self, qmask: int) -> bool:
+        """Whether zero-weight (selected) classifiers already cover the
+        query."""
+        remaining = qmask
+        cost = self._cost.cost
+        for mask in self.space.iter_subset_masks(qmask, self.max_classifier_length):
+            if cost(mask) == 0:
+                remaining &= ~mask
                 if not remaining:
                     return True
         return False

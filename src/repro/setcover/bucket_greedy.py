@@ -41,13 +41,13 @@ def bucket_greedy_wsc(instance: WSCInstance, epsilon: float = 0.1) -> WSCSolutio
         return math.floor(math.log(ratio) / log_base)
 
     universe_size = instance.universe_size
-    covered = [False] * universe_size
+    member_masks = instance.member_masks()
+    covered = 0
     num_covered = 0
     selected: List[int] = []
     total_cost = 0.0
 
     buckets: Dict[int, List[int]] = {}
-    order: List[int] = []
 
     def push(set_id: int, ratio: float) -> None:
         key = bucket_of(ratio)
@@ -57,6 +57,8 @@ def bucket_greedy_wsc(instance: WSCInstance, epsilon: float = 0.1) -> WSCSolutio
 
     for set_id in range(instance.num_sets):
         size = len(instance.set_members(set_id))
+        if size == 0:
+            continue  # degenerate empty set: nothing to cover, no ratio
         push(set_id, instance.set_cost(set_id) / size)
 
     while num_covered < universe_size:
@@ -65,9 +67,9 @@ def bucket_greedy_wsc(instance: WSCInstance, epsilon: float = 0.1) -> WSCSolutio
         current_key = min(buckets)
         queue = buckets.pop(current_key)
         for set_id in queue:
-            fresh = sum(
-                1 for e in instance.set_members(set_id) if not covered[e]
-            )
+            # One masked popcount replaces the count-then-mark scans.
+            fresh_mask = member_masks[set_id] & ~covered
+            fresh = fresh_mask.bit_count()
             if fresh == 0:
                 continue  # fully stale: drop for good
             ratio = instance.set_cost(set_id) / fresh
@@ -77,10 +79,8 @@ def bucket_greedy_wsc(instance: WSCInstance, epsilon: float = 0.1) -> WSCSolutio
             # Within (1+epsilon) of the best current ratio: take it.
             selected.append(set_id)
             total_cost += instance.set_cost(set_id)
-            for element_id in instance.set_members(set_id):
-                if not covered[element_id]:
-                    covered[element_id] = True
-                    num_covered += 1
+            covered |= fresh_mask
+            num_covered += fresh
             if num_covered == universe_size:
                 break
 

@@ -6,13 +6,20 @@ achieves the (nearly tight) ``ln Δ + 1`` approximation factor
 if its recorded coverage count still matches reality, otherwise the set
 is re-keyed and pushed back.  This is the ``O(log m · Σ|s|)`` variant
 attributed to [Cormode, Karloff, Wirth 2010] in the paper.
+
+Coverage state is a single integer bitmask over element ids: the
+freshly-covered count of a set is ``popcount(members & ~covered)`` and
+marking a selection is one ``|=`` — the per-element scans of the
+original implementation (one to count, one to mark) collapse into a
+single masked popcount whose result is reused for the marking.
+Selections and tie-breaks are bit-identical to the per-element variant
+(kept as :func:`repro.core.reference.reference_greedy_wsc`).
 """
 
 from __future__ import annotations
 
 import heapq
-import math
-from typing import List, Optional
+from typing import List
 
 from repro.exceptions import SolverError
 from repro.setcover.instance import WSCInstance, WSCSolution
@@ -23,25 +30,32 @@ def greedy_wsc(instance: WSCInstance) -> WSCSolution:
     instance.validate_coverable()
 
     universe_size = instance.universe_size
-    covered = [False] * universe_size
+    member_masks = instance.member_masks()
+    covered = 0
     num_covered = 0
     selected: List[int] = []
     total_cost = 0.0
 
     # uncovered_count[set_id] is maintained lazily: the authoritative value
-    # is recomputed when a heap entry is popped.
+    # is recomputed when a heap entry is popped.  Ties on ratio resolve by
+    # lowest set_id (then recorded size) through the tuple ordering.
     heap: List = []
     for set_id in range(instance.num_sets):
         size = len(instance.set_members(set_id))
+        if size == 0:
+            # Degenerate empty set: can never cover anything; skipping it
+            # here keeps the seeding total instead of dividing by zero.
+            continue
         cost = instance.set_cost(set_id)
-        ratio = cost / size
-        heapq.heappush(heap, (ratio, set_id, size))
+        heap.append((cost / size, set_id, size))
+    heapq.heapify(heap)
 
     while num_covered < universe_size:
         if not heap:
             raise SolverError("greedy ran out of sets before covering the universe")
         ratio, set_id, recorded = heapq.heappop(heap)
-        fresh = sum(1 for e in instance.set_members(set_id) if not covered[e])
+        fresh_mask = member_masks[set_id] & ~covered
+        fresh = fresh_mask.bit_count()
         if fresh == 0:
             continue
         if fresh != recorded:
@@ -52,9 +66,7 @@ def greedy_wsc(instance: WSCInstance) -> WSCSolution:
         # Entry is accurate and minimal: select the set.
         selected.append(set_id)
         total_cost += instance.set_cost(set_id)
-        for element_id in instance.set_members(set_id):
-            if not covered[element_id]:
-                covered[element_id] = True
-                num_covered += 1
+        covered |= fresh_mask
+        num_covered += fresh
 
     return WSCSolution(selected, total_cost)

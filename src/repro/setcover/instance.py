@@ -44,6 +44,7 @@ class WSCInstance:
         self._set_members: List[List[int]] = []
         self._set_costs: List[float] = []
         self._element_sets: List[List[int]] = []  # element id -> set ids
+        self._member_masks: Optional[List[int]] = None  # lazy, see member_masks()
 
     # ------------------------------------------------------------------
     # Construction
@@ -76,6 +77,33 @@ class WSCInstance:
         self._set_costs.append(float(cost))
         for element_id in member_ids:
             self._element_sets[element_id].append(set_id)
+        self._member_masks = None
+        return set_id
+
+    def add_set_ids(self, label: Hashable, member_ids: Iterable[int], cost: float) -> int:
+        """Add a weighted set over already-registered element *ids*.
+
+        Fast path for builders that track dense ids themselves (the
+        bitmask MC³ → WSC reduction): skips the per-member label lookup
+        of :meth:`add_set`.  Ids must come from prior
+        :meth:`add_element` calls; unknown ids raise.
+        """
+        if not math.isfinite(cost) or cost < 0:
+            raise InvalidInstanceError(f"set cost must be finite and >= 0, got {cost}")
+        ordered = sorted(set(member_ids))
+        if not ordered:
+            raise InvalidInstanceError(f"set {label!r} has no elements")
+        if ordered[0] < 0 or ordered[-1] >= len(self._element_labels):
+            raise InvalidInstanceError(
+                f"set {label!r} references unregistered element ids"
+            )
+        set_id = len(self._set_labels)
+        self._set_labels.append(label)
+        self._set_members.append(ordered)
+        self._set_costs.append(float(cost))
+        for element_id in ordered:
+            self._element_sets[element_id].append(set_id)
+        self._member_masks = None
         return set_id
 
     # ------------------------------------------------------------------
@@ -104,6 +132,24 @@ class WSCInstance:
 
     def sets_containing(self, element_id: int) -> List[int]:
         return self._element_sets[element_id]
+
+    def member_masks(self) -> List[int]:
+        """Per-set member bitmasks over element ids (bit ``e`` ⇔ element
+        ``e`` belongs to the set).
+
+        Built lazily on first use and cached until the instance grows;
+        the greedy solvers use these so "freshly covered" is a popcount
+        of ``members & ~covered`` instead of a per-element scan.
+        """
+        if self._member_masks is None:
+            masks: List[int] = []
+            for members in self._set_members:
+                mask = 0
+                for element_id in members:
+                    mask |= 1 << element_id
+                masks.append(mask)
+            self._member_masks = masks
+        return self._member_masks
 
     def solution_labels(self, solution: WSCSolution) -> List[Hashable]:
         """Labels of the selected sets (deterministic order)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence, Set, Tuple
 
+from repro.core.bitspace import PropertySpace
 from repro.core.instance import MC3Instance
 from repro.core.properties import Classifier
 from repro.exceptions import SolverError
@@ -49,10 +50,16 @@ class ExactSolver(ComponentSolver):
     def solve_component(
         self, component: MC3Instance
     ) -> Tuple[Set[Classifier], Dict[str, object]]:
-        wsc = mc3_to_wsc(component)
+        space = PropertySpace.from_queries(component.queries)
+        wsc = mc3_to_wsc(component, space=space)
         if self.engine == "lp":
             wsc_solution = exact_wsc_lp(wsc)
         else:
             wsc_solution = exact_wsc(wsc, node_limit=self.node_limit)
         classifiers = {wsc.set_label(set_id) for set_id in wsc_solution.set_ids}
-        return classifiers, {}
+        bitspace = {
+            "properties": space.size,
+            "elements": wsc.universe_size,
+            "sets": wsc.num_sets,
+        }
+        return classifiers, {"bitspace": bitspace}

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.bitspace import PropertySpace
 from repro.core.instance import MC3Instance
 from repro.core.properties import Classifier
 from repro.engine.component import ComponentOutcome
@@ -92,7 +93,11 @@ class GeneralSolver(ComponentSolver):
     def solve_component(
         self, component: MC3Instance
     ) -> Tuple[Set[Classifier], Dict[str, object]]:
-        wsc = mc3_to_wsc(component)
+        # One interning per component: the reduction and every WSC pass
+        # below share the same mask space (the engine's component
+        # boundary keeps it as narrow as the component's property count).
+        space = PropertySpace.from_queries(component.queries)
+        wsc = mc3_to_wsc(component, space=space)
 
         def f_approx() -> Tuple[object, str]:
             if self.lp_size_limit is not None and lp_nonzeros(wsc) > self.lp_size_limit:
@@ -121,7 +126,16 @@ class GeneralSolver(ComponentSolver):
                 wsc_solution, winner = f_solution, "f_approx"
 
         classifiers = {wsc.set_label(set_id) for set_id in wsc_solution.set_ids}
-        return classifiers, {"winner": winner, "f_mode": f_mode}
+        details: Dict[str, object] = {
+            "winner": winner,
+            "f_mode": f_mode,
+            "bitspace": {
+                "properties": space.size,
+                "elements": wsc.universe_size,
+                "sets": wsc.num_sets,
+            },
+        }
+        return classifiers, details
 
     def aggregate_details(
         self, outcomes: List[ComponentOutcome]

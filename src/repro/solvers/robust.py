@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Set, Tuple
 
+from repro.core.bitspace import PropertySpace
 from repro.core.instance import MC3Instance
 from repro.core.properties import Classifier
 from repro.core.solution import Solution
@@ -66,7 +67,8 @@ class RobustSolver(ComponentSolver):
     def solve_component(
         self, component: MC3Instance
     ) -> Tuple[Set[Classifier], Dict[str, object]]:
-        wsc = mc3_to_wsc(component)
+        space = PropertySpace.from_queries(component.queries)
+        wsc = mc3_to_wsc(component, space=space)
         demands = []
         for element_id in range(wsc.universe_size):
             available = len(wsc.sets_containing(element_id))
@@ -82,7 +84,12 @@ class RobustSolver(ComponentSolver):
             demands.append(self.redundancy)
         solution = greedy_multicover(wsc, demands)
         classifiers = {wsc.set_label(set_id) for set_id in solution.set_ids}
-        return classifiers, {}
+        bitspace = {
+            "properties": space.size,
+            "elements": wsc.universe_size,
+            "sets": wsc.num_sets,
+        }
+        return classifiers, {"bitspace": bitspace}
 
     def aggregate_details(
         self, outcomes: List[ComponentOutcome]

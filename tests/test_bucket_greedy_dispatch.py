@@ -50,12 +50,34 @@ class TestBucketGreedy:
 
     @given(st.integers(min_value=0, max_value=150))
     @settings(max_examples=15, deadline=None)
-    def test_small_epsilon_tracks_exact_greedy(self, seed):
+    def test_small_epsilon_is_stepwise_ratio_optimal(self, seed):
+        # With a vanishing epsilon every selection is ratio-optimal at
+        # the moment it is made, up to the (1+eps) bucket width.  The
+        # *final cost* can still differ from plain greedy's: equal
+        # ratios are broken by bucket-queue order rather than lowest
+        # set id, and a tie cascade may select a different cover (seed
+        # 145 yields 10.0 vs. greedy's 7.0).  So the honest invariant
+        # is stepwise, not end-to-end.
         instance = random_wsc(seed)
-        bucketed = bucket_greedy_wsc(instance, epsilon=1e-6)
+        epsilon = 1e-6
+        bucketed = bucket_greedy_wsc(instance, epsilon=epsilon)
+        instance.verify_solution(bucketed)
         plain = greedy_wsc(instance)
-        # With a vanishing epsilon the bucket order is the greedy order.
-        assert bucketed.cost <= plain.cost * (1 + 1e-3) + 1e-6
+        instance.verify_solution(plain)
+        covered = set()
+        for set_id in bucketed.set_ids:
+            fresh = [e for e in instance.set_members(set_id) if e not in covered]
+            assert fresh  # never selects a set covering nothing new
+            available = []
+            for other in range(instance.num_sets):
+                gain = sum(
+                    1 for e in instance.set_members(other) if e not in covered
+                )
+                if gain:
+                    available.append(instance.set_cost(other) / gain)
+            ratio = instance.set_cost(set_id) / len(fresh)
+            assert ratio <= min(available) * (1 + epsilon) + 1e-9
+            covered.update(instance.set_members(set_id))
 
     def test_available_via_facade(self):
         instance = random_wsc(3)

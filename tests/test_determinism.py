@@ -76,3 +76,48 @@ class TestExtensionDeterminism:
         b = greedy_partial_cover(instance, weights, budget=500)
         assert a.classifiers == b.classifiers
         assert a.covered_weight == b.covered_weight
+
+
+class TestGreedyTieBreaking:
+    """Pins the greedy WSC tie-break: equal cost/fresh ratios resolve by
+    lowest set id.  The bitmask rewrite must preserve this — the heap
+    entries are (ratio, set_id, ...) tuples, so the pin catches any
+    reordering of the tuple fields or a switch to an id-free queue."""
+
+    def test_equal_ratios_resolve_by_lowest_set_id(self):
+        from repro.setcover import greedy_wsc
+        from tests.test_setcover import build
+
+        # Sets 0, 1, 2 all start at ratio 1.0.  Taking them in id order
+        # covers everything with sets 0 and 1; any other tie order needs
+        # a third set.
+        instance = build(
+            [
+                (["a", "b"], 2),
+                (["c", "d"], 2),
+                (["b", "c"], 2),
+            ]
+        )
+        solution = greedy_wsc(instance)
+        instance.verify_solution(solution)
+        assert solution.set_ids == (0, 1)
+        assert solution.cost == 4.0
+
+    def test_tie_break_is_id_not_insertion_payload(self):
+        from repro.setcover import greedy_wsc
+        from tests.test_setcover import build
+
+        # Same family, registered so the tying pair straddles a cheaper
+        # singleton: ids still decide (1 before 3), labels don't matter.
+        instance = build(
+            [
+                (["a", "b"], 2),   # 0: ratio 1.0 — tied
+                (["e"], 1),        # 1: ratio 1.0 — tied, wins over 2 and 3
+                (["c", "d"], 2),   # 2: ratio 1.0 — tied
+                (["b", "c"], 2),   # 3: ratio 1.0 — tied
+            ]
+        )
+        solution = greedy_wsc(instance)
+        instance.verify_solution(solution)
+        assert solution.set_ids == (0, 1, 2)
+        assert solution.cost == 5.0
