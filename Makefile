@@ -32,6 +32,8 @@ examples:
 
 # Uses ruff (configured in pyproject.toml) when it is installed; falls
 # back to a bytecode-compilation syntax sweep on minimal environments.
+# reprolint (the in-repo determinism & solver-contract linter, see
+# docs/devtools.md) is stdlib-only and therefore runs on both paths.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
@@ -39,6 +41,7 @@ lint:
 		echo "ruff not installed; falling back to compileall syntax check"; \
 		$(PYTHON) -m compileall -q src tests benchmarks examples; \
 	fi
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.devtools.reprolint src tests benchmarks
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis .benchmarks

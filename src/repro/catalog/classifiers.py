@@ -57,7 +57,7 @@ class TrainedClassifier:
 
     def _flips(self, item: Item) -> bool:
         digest = hashlib.blake2b(
-            f"{self.label}|{item.item_id}".encode("utf-8"),
+            f"{self.label}|{item.item_id}".encode(),
             digest_size=8,
             salt=self.seed.to_bytes(8, "little", signed=False),
         ).digest()

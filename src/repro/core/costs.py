@@ -185,7 +185,7 @@ class HashCost(CostModel):
             return INFINITY
         label = canonical_label(clf)
         digest = hashlib.blake2b(
-            label.encode("utf-8"),
+            label.encode(),
             digest_size=8,
             salt=self.seed.to_bytes(8, "little", signed=False),
         ).digest()

@@ -112,7 +112,7 @@ def save_instance(instance: MC3Instance, path: PathLike) -> None:
 
 def load_instance(path: PathLike) -> MC3Instance:
     """Read an instance from a JSON file."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
@@ -147,7 +147,7 @@ def save_solution(solution: Solution, path: PathLike) -> None:
 
 def load_solution(path: PathLike) -> Solution:
     """Read a solution from a JSON file."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:

@@ -75,8 +75,15 @@ def min_cover_local(
             if nxt == mask:
                 continue
             new_cost = cost_here + weight
+            # reprolint: ignore[RPL103] deliberate exact tie-break: at
+            # equal DP cost prefer fewer classifiers.  Both sides are
+            # produced by the same left-to-right accumulation over the
+            # deterministic candidate order, so equality is exact and
+            # pinned by the test_determinism tie-break suite.
             if new_cost < dp_cost[nxt] or (
-                new_cost == dp_cost[nxt] and count_here + 1 < dp_count[nxt]
+                # reprolint: ignore[RPL103] (next line) exact equality
+                new_cost == dp_cost[nxt]  # reprolint: ignore[RPL103]
+                and count_here + 1 < dp_count[nxt]
             ):
                 dp_cost[nxt] = new_cost
                 dp_count[nxt] = count_here + 1

@@ -88,6 +88,16 @@ def canonical_label(props: PropertySet) -> str:
     return "+".join(sorted(props))
 
 
+def classifier_sort_key(props: PropertySet) -> Tuple[int, Tuple[str, ...]]:
+    """Canonical total order for classifiers: length, then lexicographic.
+
+    This is the tie-break order the kernels and reductions use whenever
+    a set of classifiers must be walked deterministically (e.g. summing
+    float weights, where accumulation order changes the rounded total).
+    """
+    return (len(props), tuple(sorted(props)))
+
+
 def iter_nonempty_subsets(
     props: PropertySet, max_length: int | None = None
 ) -> Iterator[Classifier]:

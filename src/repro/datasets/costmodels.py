@@ -65,7 +65,7 @@ class SubAdditiveHashCost(CostModel):
 
     def _specificity(self, clf: Classifier) -> float:
         digest = hashlib.blake2b(
-            canonical_label(clf).encode("utf-8"),
+            canonical_label(clf).encode(),
             digest_size=8,
             salt=self.seed.to_bytes(8, "little", signed=False),
         ).digest()

@@ -27,7 +27,7 @@ PathLike = Union[str, Path]
 def load_query_log(path: PathLike) -> List[Query]:
     """Read a whitespace-separated query log."""
     queries: List[Query] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):
@@ -49,7 +49,7 @@ def save_query_log(queries, path: PathLike) -> None:
 def load_cost_table_csv(path: PathLike, default: float = float("inf")) -> TableCost:
     """Read a ``classifier,cost`` CSV into a :class:`TableCost`."""
     table: Dict[Classifier, float] = {}
-    with open(path, "r", encoding="utf-8", newline="") as handle:
+    with open(path, encoding="utf-8", newline="") as handle:
         reader = csv.reader(handle)
         for row_number, row in enumerate(reader, start=1):
             if not row or row[0].strip().startswith("#"):

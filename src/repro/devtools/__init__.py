@@ -1,0 +1,3 @@
+"""Developer tooling that ships with the package but is not part of the
+solver API: static analysis (:mod:`repro.devtools.reprolint`) guarding
+the determinism and solver contracts that the runtime cannot check."""

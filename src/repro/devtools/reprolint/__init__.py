@@ -1,0 +1,51 @@
+"""reprolint — AST-based determinism & solver-contract linter.
+
+A stdlib-only, pluggable static-analysis pass that machine-checks the
+contracts PRs 1–2 made load-bearing: bit-identical engine merges, the
+bitmask/frozenset equivalence boundary, and the ComponentSolver/
+registry surface.  See ``docs/devtools.md`` for the rule catalogue and
+the suppression syntax (``# reprolint: ignore[RULE-ID] why``).
+
+Programmatic use::
+
+    from repro.devtools.reprolint import lint_paths
+    result = lint_paths(["src", "tests", "benchmarks"])
+    assert result.ok, [v.render() for v in result.violations]
+"""
+
+from repro.devtools.reprolint.model import SourceModule, Violation
+from repro.devtools.reprolint.registry import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
+from repro.devtools.reprolint.reporters import (
+    as_json_document,
+    render_json,
+    render_text,
+)
+from repro.devtools.reprolint.runner import (
+    SYNTAX_ERROR_ID,
+    LintResult,
+    collect_files,
+    lint_paths,
+)
+
+__all__ = [
+    "SYNTAX_ERROR_ID",
+    "LintResult",
+    "ProjectRule",
+    "Rule",
+    "SourceModule",
+    "Violation",
+    "all_rules",
+    "as_json_document",
+    "collect_files",
+    "get_rule",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.devtools.reprolint`` entry point."""
+
+import sys
+
+from repro.devtools.reprolint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,112 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.devtools.reprolint src tests benchmarks
+    python -m repro.devtools.reprolint --format json src
+    python -m repro.devtools.reprolint --list-rules
+    python -m repro.devtools.reprolint --select RPL101,RPL103 src
+
+Exit codes: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.devtools.reprolint.registry import all_rules
+from repro.devtools.reprolint.reporters import render_json, render_text
+from repro.devtools.reprolint.runner import collect_files, lint_paths
+
+
+def _rule_id_list(raw: str) -> List[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based determinism & solver-contract linter for the MC3 "
+            "reproduction (stdlib-only; see docs/devtools.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (e.g. src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        type=_rule_id_list,
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=_rule_id_list,
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _print_rule_catalogue() -> None:
+    for rule in all_rules():
+        kind = "project" if hasattr(rule, "check_project") else "module"
+        print(f"{rule.rule_id}  {rule.name}  ({kind})")
+        print(f"    {rule.summary}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        _print_rule_catalogue()
+        return 0
+
+    if not options.paths:
+        parser.print_usage(sys.stderr)
+        print("reprolint: error: no paths given", file=sys.stderr)
+        return 2
+
+    if not collect_files(options.paths):
+        print("reprolint: error: no Python files under the given paths", file=sys.stderr)
+        return 2
+
+    try:
+        result = lint_paths(options.paths, options.select, options.ignore)
+    except KeyError as error:
+        known = ", ".join(rule.rule_id for rule in all_rules())
+        print(
+            f"reprolint: error: unknown rule id {error.args[0]!r} "
+            f"(known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+
+    if options.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

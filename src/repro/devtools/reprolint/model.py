@@ -1,0 +1,131 @@
+"""Core data model: parsed source files, violations, suppressions.
+
+A :class:`SourceModule` is one parsed file — AST, raw source, and the
+per-line suppression table extracted from ``# reprolint: ignore[...]``
+comments.  Rules consume modules and yield :class:`Violation` records;
+the runner filters suppressed ones before reporting.
+
+Suppression syntax (one comment, on the violating line)::
+
+    x == y  # reprolint: ignore[RPL103] exact DP tie-break, pinned by tests
+    anything  # reprolint: ignore
+
+The bracket form silences only the listed rule ids (comma-separated);
+the bare form silences every rule on that line.  Trailing prose after
+the bracket is encouraged — every suppression should say *why*.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Set
+
+#: Wildcard stored in the suppression table for bare ``ignore`` comments.
+SUPPRESS_ALL = "*"
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*reprolint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_\-, ]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding, addressable as ``path:line:column``."""
+
+    rule_id: str
+    rule_name: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def sort_key(self):
+        return (self.path, self.line, self.column, self.rule_id)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} [{self.rule_name}] {self.message}"
+        )
+
+    def as_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "name": self.rule_name,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+
+class SourceModule:
+    """One source file: path, source text, AST, suppression table."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        suppressions: Dict[int, Set[str]],
+    ):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.suppressions = suppressions
+        #: Posix-normalised path used for scope matching.
+        self.scope_key = Path(path).as_posix()
+
+    @classmethod
+    def parse(cls, path: "str | Path") -> "SourceModule":
+        """Read and parse ``path``; raises ``SyntaxError`` on bad source."""
+        source = Path(path).read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(str(path), source, tree, extract_suppressions(source))
+
+    def violation(
+        self, rule: "object", node: ast.AST, message: str
+    ) -> Violation:
+        """Build a violation anchored at ``node`` for ``rule``."""
+        return Violation(
+            rule_id=rule.rule_id,  # type: ignore[attr-defined]
+            rule_name=rule.name,  # type: ignore[attr-defined]
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        rules = self.suppressions.get(violation.line)
+        if not rules:
+            return False
+        return SUPPRESS_ALL in rules or violation.rule_id in rules
+
+
+def extract_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number → rule ids silenced there (``*`` = all rules)."""
+    table: Dict[int, Set[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if match is None:
+                continue
+            names = match.group("rules")
+            if names is None:
+                ids = {SUPPRESS_ALL}
+            else:
+                ids = {part.strip() for part in names.split(",") if part.strip()}
+            table.setdefault(token.start[0], set()).update(ids)
+    except tokenize.TokenError:
+        # Unterminated string/bracket: the AST parse will report it.
+        pass
+    return table

@@ -1,0 +1,74 @@
+"""Rule registry: rule base classes and the ``@register`` decorator.
+
+A rule is a singleton object with an id (``RPL###``), a short
+kebab-case name, a one-line summary, and a rationale paragraph naming
+the contract it guards.  Per-module rules implement :meth:`Rule.check`;
+rules that need the whole scanned tree at once (cross-file contracts
+such as solver registration) subclass :class:`ProjectRule` and
+implement :meth:`ProjectRule.check_project`.
+
+Registration happens at import time of :mod:`repro.devtools.reprolint.
+rules`; :func:`all_rules` triggers that import lazily so the registry
+module itself stays dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Type
+
+from repro.devtools.reprolint.model import SourceModule, Violation
+
+
+class Rule:
+    """Base class for per-module rules."""
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def applies_to(self, module: SourceModule) -> bool:
+        """Whether this rule runs on ``module`` (scope gate)."""
+        return True
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:
+        """Yield violations found in one module."""
+        return ()
+
+
+class ProjectRule(Rule):
+    """A rule that inspects every scanned module in one pass."""
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterable[Violation]:
+        """Yield violations over the whole scanned tree."""
+        return ()
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule singleton."""
+    rule = rule_class()
+    if not rule.rule_id or not rule.name:
+        raise ValueError(f"rule {rule_class.__name__} lacks an id or name")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id (imports the rule modules)."""
+    # Lazy import: rule modules import this registry, so importing them
+    # at module scope here would be circular.
+    from repro.devtools.reprolint import rules as _rules  # noqa: F401
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    all_rules()
+    return _REGISTRY[rule_id]

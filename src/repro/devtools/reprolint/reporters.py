@@ -1,0 +1,57 @@
+"""Violation reporters: human-readable text and machine-readable JSON.
+
+The JSON document is a stable schema (``version`` 1) for CI tooling::
+
+    {
+      "tool": "reprolint",
+      "version": 1,
+      "files_scanned": 190,
+      "rules": ["RPL101", ...],
+      "violations": [
+        {"rule": "RPL101", "name": "set-iteration",
+         "path": "src/repro/x.py", "line": 3, "column": 8,
+         "message": "..."}
+      ],
+      "counts": {"total": 1, "suppressed": 2, "by_rule": {"RPL101": 1}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.devtools.reprolint.runner import LintResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    lines = [violation.render() for violation in result.violations]
+    noun = "file" if result.files_scanned == 1 else "files"
+    summary = (
+        f"reprolint: {len(result.violations)} violation(s), "
+        f"{result.suppressed} suppressed, "
+        f"{result.files_scanned} {noun} scanned"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def as_json_document(result: LintResult) -> Dict[str, object]:
+    return {
+        "tool": "reprolint",
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": result.files_scanned,
+        "rules": list(result.rule_ids),
+        "violations": [v.as_json() for v in result.violations],
+        "counts": {
+            "total": len(result.violations),
+            "suppressed": result.suppressed,
+            "by_rule": result.counts_by_rule(),
+        },
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(as_json_document(result), indent=2, sort_keys=True)

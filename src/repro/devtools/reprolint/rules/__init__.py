@@ -1,0 +1,18 @@
+"""Rule modules; importing this package registers every rule.
+
+Rule id taxonomy:
+
+* ``RPL1xx`` — determinism (set iteration, nondeterministic reads,
+  float tie-break equality);
+* ``RPL2xx`` — mask/kernel boundary (frozenset ops in mask modules,
+  reference-oracle imports);
+* ``RPL3xx`` — solver contract (engine bypass, registry coverage);
+* ``RPL4xx`` — hygiene (mutable defaults, bare except).
+"""
+
+from repro.devtools.reprolint.rules import (  # noqa: F401  (registration side effect)
+    determinism,
+    hygiene,
+    masks,
+    solvers,
+)

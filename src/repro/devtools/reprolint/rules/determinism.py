@@ -1,0 +1,510 @@
+"""Determinism rules (RPL1xx).
+
+The engine's merge step (PR 1) and the bitmask kernels (PR 2) promise
+*bit-identical* outputs across dispatch orders and representations.
+Greedy set-cover variants legitimately diverge only at equal
+cost/coverage ratios, so any order the code does not pin explicitly —
+set iteration order, wall-clock reads, float-equality tie-breaks — is a
+place where that promise silently breaks.  These rules make the three
+common leaks machine-checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.reprolint.model import SourceModule, Violation
+from repro.devtools.reprolint.registry import Rule, register
+from repro.devtools.reprolint.scopes import in_core, in_determinism_scope, in_src
+
+# ----------------------------------------------------------------------
+# RPL101 — iteration over unordered sets
+# ----------------------------------------------------------------------
+
+_SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate"}
+
+#: Calls whose result cannot depend on argument iteration order —
+#: a comprehension feeding one of these is exempt.  ``sum`` is absent
+#: on purpose: float addition is order-sensitive, and a hash-seeded
+#: ``sum`` over a set of weights is precisely the leak this rule hunts.
+_ORDER_NEUTRAL_CALLS = {"sorted", "min", "max", "any", "all", "set", "frozenset", "len"}
+
+
+def _dotted_key(node: ast.AST) -> Optional[str]:
+    """``x`` or ``self.x`` (one attribute hop); None for anything else."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return f"{node.value.id}.{node.attr}"
+    return None
+
+
+def _is_set_annotation(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute):
+        return target.attr in _SET_ANNOTATIONS
+    if isinstance(target, ast.Name):
+        return target.id in _SET_ANNOTATIONS
+    return False
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    """Conservatively: does this expression produce an unordered set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name) or isinstance(node, ast.Attribute):
+        key = _dotted_key(node)
+        return key is not None and key in set_names
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _SET_CONSTRUCTORS:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            # x.union(y) is a set only when the receiver already is one
+            # (str.union does not exist, but be conservative anyway).
+            return _is_set_expr(func.value, set_names)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        # Set algebra: |, &, ^, - with a known-set operand.  Integer
+        # masks never classify because their names carry no evidence.
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    if isinstance(node, ast.IfExp):
+        return _is_set_expr(node.body, set_names) or _is_set_expr(
+            node.orelse, set_names
+        )
+    return False
+
+
+def _is_keys_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    )
+
+
+class _ScopeTable:
+    """Flow-insensitive classification of set-typed names in one scope.
+
+    A name counts as set-typed when it carries a set annotation, or it
+    has at least one binding and *every* binding is a set-producing
+    expression.  Loop/with targets poison the name (we cannot see the
+    element type), which keeps the rule conservative: no false
+    positives from ``for clf in candidates``-style bindings.
+    """
+
+    def __init__(self, inherited: Optional[Set[str]] = None):
+        self.inherited: Set[str] = set(inherited or ())
+        self.bindings: Dict[str, List[ast.AST]] = {}
+        self.annotated: Set[str] = set()
+        self.poisoned: Set[str] = set()
+
+    def bind(self, key: Optional[str], value: Optional[ast.AST]) -> None:
+        if key is None:
+            return
+        if value is None:
+            self.poisoned.add(key)
+        else:
+            self.bindings.setdefault(key, []).append(value)
+
+    def annotate(self, key: Optional[str], annotation: Optional[ast.AST]) -> None:
+        if key is None:
+            return
+        if _is_set_annotation(annotation):
+            self.annotated.add(key)
+        elif annotation is not None:
+            # An explicit non-set annotation overrides inherited evidence.
+            self.poisoned.add(key)
+
+    def resolve(self) -> Set[str]:
+        """Fixpoint over ``a = b`` chains (bounded by scope size)."""
+        names = set(self.inherited) | self.annotated
+        names -= self.poisoned
+        for _ in range(4):
+            grown = set(names)
+            for key, values in self.bindings.items():
+                if key in self.poisoned or key in self.annotated:
+                    continue
+                if values and all(_is_set_expr(v, names) for v in values):
+                    grown.add(key)
+                else:
+                    grown.discard(key)
+            if grown == names:
+                break
+            names = grown
+        return names - self.poisoned
+
+
+def _collect_targets(node: ast.AST) -> Iterator[Optional[str]]:
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            yield from _collect_targets(element)
+    elif isinstance(node, ast.Starred):
+        yield from _collect_targets(node.value)
+    else:
+        yield _dotted_key(node)
+
+
+def _fill_table(body: Iterable[ast.stmt], table: _ScopeTable) -> None:
+    """Scan one scope's statements (not descending into nested defs)."""
+    for statement in body:
+        for node in _walk_same_scope(statement):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    keys = list(_collect_targets(target))
+                    if len(keys) == 1:
+                        table.bind(keys[0], node.value)
+                    else:  # tuple unpacking: element types unknown
+                        for key in keys:
+                            table.bind(key, None)
+            elif isinstance(node, ast.AnnAssign):
+                key = _dotted_key(node.target)
+                table.annotate(key, node.annotation)
+                if node.value is not None and key not in table.annotated:
+                    table.bind(key, node.value)
+            elif isinstance(node, ast.AugAssign):
+                # x |= {...} keeps x's classification from its other
+                # bindings; treat as additional evidence only.
+                table.bind(_dotted_key(node.target), node.value)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for key in _collect_targets(node.target):
+                    table.bind(key, None)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        for key in _collect_targets(item.optional_vars):
+                            table.bind(key, None)
+
+
+def _walk_same_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that stops at nested function/class boundaries."""
+    yield node
+    if isinstance(
+        node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+    ):
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from _walk_same_scope(child)
+
+
+def _is_order_neutral_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Name):
+        return False
+    if node.func.id not in _ORDER_NEUTRAL_CALLS:
+        return False
+    # min/max with key= pick the *first* minimal element on key ties, so
+    # argument order leaks back out; only the bare forms are neutral.
+    if node.func.id in ("min", "max") and node.keywords:
+        return False
+    return True
+
+
+def _iteration_sites(body: Iterable[ast.stmt]) -> Iterator[Tuple[ast.AST, str]]:
+    """(iterable-expression, context) pairs in one scope.
+
+    Comprehensions that are the sole argument of an order-neutral call
+    (``sorted(f(c) for c in some_set)``) are exempt: the wrapper erases
+    whatever order the generator produced.
+    """
+    neutralized: set = set()
+    for statement in body:
+        for node in _walk_same_scope(statement):
+            if _is_order_neutral_call(node) and len(node.args) == 1:
+                argument = node.args[0]
+                if isinstance(
+                    argument,
+                    (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp),
+                ):
+                    neutralized.add(id(argument))
+    for statement in body:
+        for node in _walk_same_scope(statement):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield node.iter, "for loop"
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                if id(node) in neutralized:
+                    continue
+                for generator in node.generators:
+                    yield generator.iter, "comprehension"
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_SENSITIVE_CALLS
+                    and node.args
+                ):
+                    yield node.args[0], f"{func.id}() call"
+
+
+@register
+class SetIterationRule(Rule):
+    rule_id = "RPL101"
+    name = "set-iteration"
+    summary = (
+        "no iteration over set/frozenset/dict.keys() without sorted() "
+        "in solver, kernel, and engine modules"
+    )
+    rationale = (
+        "Set iteration order depends on hash seeding and insertion "
+        "history; any loop over an unordered set in a solver hot path "
+        "can reorder tie-breaks and break the engine's bit-identical "
+        "merge contract (PR 1) and the bitmask-equivalence contract "
+        "(PR 2).  Wrap the iterable in sorted() to pin a canonical "
+        "order, or iterate an already-ordered structure."
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_determinism_scope(module.scope_key)
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:
+        yield from self._check_scope(module, module.tree.body, set())
+
+    def _check_scope(
+        self,
+        module: SourceModule,
+        body: Iterable[ast.stmt],
+        inherited: Set[str],
+        arguments: Optional[ast.arguments] = None,
+    ) -> Iterator[Violation]:
+        table = _ScopeTable(inherited)
+        if arguments is not None:
+            for arg in (
+                list(arguments.posonlyargs)
+                + list(arguments.args)
+                + list(arguments.kwonlyargs)
+            ):
+                table.annotate(arg.arg, arg.annotation)
+                if not _is_set_annotation(arg.annotation):
+                    table.bind(arg.arg, None)
+        _fill_table(body, table)
+        set_names = table.resolve()
+
+        for iterable, context in _iteration_sites(body):
+            if _is_keys_call(iterable):
+                yield module.violation(
+                    self,
+                    iterable,
+                    f"iteration over dict.keys() in a {context}; iterate "
+                    "the dict directly (insertion order) or wrap in "
+                    "sorted() for a canonical order",
+                )
+            elif _is_set_expr(iterable, set_names):
+                yield module.violation(
+                    self,
+                    iterable,
+                    f"iteration over an unordered set in a {context}; "
+                    "wrap the iterable in sorted() to pin the order",
+                )
+
+        # Recurse into nested scopes; class bodies share the enclosing
+        # set-name view so ``self.x = set()`` evidence collected from
+        # method bodies is visible in sibling methods.
+        for statement in body:
+            for node in _walk_same_scope(statement):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_scope(
+                        module, node.body, set_names, node.args
+                    )
+                elif isinstance(node, ast.ClassDef):
+                    class_table = _ScopeTable(set_names)
+                    for method in node.body:
+                        if isinstance(
+                            method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            _fill_table(method.body, class_table)
+                    class_names = class_table.resolve()
+                    self_attrs = {
+                        key for key in class_names if key.startswith("self.")
+                    }
+                    yield from self._check_scope(
+                        module, node.body, set_names | self_attrs
+                    )
+
+
+# ----------------------------------------------------------------------
+# RPL102 — nondeterministic reads in kernels
+# ----------------------------------------------------------------------
+
+_NONDET_MODULES = {"random", "time"}
+_OS_READS = {"environ", "getenv", "getenvb"}
+
+
+def _nondet_import(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in _NONDET_MODULES:
+                return root
+    if isinstance(node, ast.ImportFrom) and node.module:
+        root = node.module.split(".")[0]
+        if node.level == 0 and root in _NONDET_MODULES:
+            return root
+    return None
+
+
+def _nondet_use(node: ast.AST, tainted_names: Set[str]) -> Optional[str]:
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        base = node.value.id
+        if base in _NONDET_MODULES:
+            return f"{base}.{node.attr}"
+        if base == "os" and node.attr in _OS_READS:
+            return f"os.{node.attr}"
+    if isinstance(node, ast.Name) and node.id in tainted_names:
+        return node.id
+    return None
+
+
+@register
+class NondeterministicReadRule(Rule):
+    rule_id = "RPL102"
+    name = "nondeterministic-read"
+    summary = (
+        "no random/time/os.environ reads inside solve_component kernels "
+        "or core/ modules"
+    )
+    rationale = (
+        "solve_component runs under the engine, possibly in a process "
+        "pool (PR 1); a wall-clock, RNG, or environment read inside it "
+        "(or inside core/ kernels) makes outputs depend on scheduling "
+        "and host state.  Timing belongs to Solver.solve, configuration "
+        "to constructor parameters."
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_src(module.scope_key)
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:
+        if in_core(module.scope_key):
+            yield from self._check_core_module(module)
+        yield from self._check_solve_component_kernels(module)
+
+    def _check_core_module(self, module: SourceModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            imported = _nondet_import(node)
+            if imported is not None:
+                yield module.violation(
+                    self,
+                    node,
+                    f"import of nondeterministic module {imported!r} in a "
+                    "core/ kernel module; timing belongs to Solver.solve",
+                )
+            used = _nondet_use(node, set())
+            if used is not None:
+                yield module.violation(
+                    self,
+                    node,
+                    f"read of {used} in a core/ kernel module",
+                )
+
+    def _check_solve_component_kernels(
+        self, module: SourceModule
+    ) -> Iterator[Violation]:
+        # Names bound at module level from random/time via from-imports,
+        # e.g. ``from time import perf_counter`` — legitimate for
+        # Solver.solve, tainted inside solve_component bodies.
+        tainted: Set[str] = set()
+        for node in module.tree.body:
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.level == 0 and node.module.split(".")[0] in _NONDET_MODULES:
+                    for alias in node.names:
+                        tainted.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name != "solve_component":
+                continue
+            for inner in ast.walk(node):
+                imported = _nondet_import(inner)
+                if imported is not None:
+                    yield module.violation(
+                        self,
+                        inner,
+                        f"import of nondeterministic module {imported!r} "
+                        "inside a solve_component kernel",
+                    )
+                used = _nondet_use(inner, tainted)
+                if used is not None:
+                    yield module.violation(
+                        self,
+                        inner,
+                        f"read of {used} inside a solve_component kernel; "
+                        "kernels must be pure functions of the component",
+                    )
+
+
+# ----------------------------------------------------------------------
+# RPL103 — float equality on costs in tie-break positions
+# ----------------------------------------------------------------------
+
+_COST_TOKENS = ("cost", "weight", "ratio", "price")
+
+
+def _cost_like(node: ast.AST) -> bool:
+    base = node
+    if isinstance(base, ast.UnaryOp):
+        base = base.operand
+    if isinstance(base, ast.Subscript):
+        base = base.value
+    if isinstance(base, ast.Call):
+        base = base.func
+    name: Optional[str] = None
+    if isinstance(base, ast.Attribute):
+        name = base.attr
+    elif isinstance(base, ast.Name):
+        name = base.id
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(token in lowered for token in _COST_TOKENS)
+
+
+@register
+class FloatCostEqualityRule(Rule):
+    rule_id = "RPL103"
+    name = "float-cost-equality"
+    summary = "no float ==/!= between cost expressions in tie-break positions"
+    rationale = (
+        "Greedy set-cover variants legitimately diverge only at equal "
+        "cost ratios, so a float ==/!= between two computed costs is "
+        "exactly where platform-dependent rounding changes which branch "
+        "a tie-break takes.  Compare against assignment-pinned "
+        "sentinels (0.0, math.inf) or restructure the tie-break around "
+        "integer keys; genuinely-exact DP tie-breaks carry a justified "
+        "suppression."
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_determinism_scope(module.scope_key)
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, operator in enumerate(node.ops):
+                if not isinstance(operator, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _cost_like(left) and _cost_like(right):
+                    yield module.violation(
+                        self,
+                        node,
+                        "float equality between two cost expressions in a "
+                        "tie-break position; compare pinned sentinels or "
+                        "integer keys instead",
+                    )

@@ -1,0 +1,103 @@
+"""Hygiene rules (RPL4xx): mutable default arguments and bare except.
+
+Not determinism-specific, but both have bitten solver codebases in the
+same way: a mutable default shared across calls turns a pure kernel
+stateful, and a bare ``except:`` swallows the loud failures (verify
+errors, UncoverableQueryError) the pipeline relies on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.reprolint.model import SourceModule, Violation
+from repro.devtools.reprolint.registry import Rule, register
+from repro.devtools.reprolint.scopes import in_src
+
+_MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in _MUTABLE_CONSTRUCTORS
+        if isinstance(func, ast.Attribute):
+            return func.attr in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "RPL401"
+    name = "mutable-default-argument"
+    summary = "no mutable default arguments in src/"
+    rationale = (
+        "A mutable default is evaluated once and shared across every "
+        "call; a kernel that appends to it returns different output on "
+        "the second invocation — the exact class of hidden state the "
+        "determinism suites cannot see from a single run.  Default to "
+        "None and construct inside the body."
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_src(module.scope_key)
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            arguments = node.args
+            defaults = list(arguments.defaults) + [
+                default for default in arguments.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield module.violation(
+                        self,
+                        default,
+                        f"mutable default argument in {label}(); use None "
+                        "and construct inside the body",
+                    )
+
+
+@register
+class BareExceptRule(Rule):
+    rule_id = "RPL402"
+    name = "bare-except"
+    summary = "no bare except: clauses in src/"
+    rationale = (
+        "Solver.solve verifies every output and raises loudly on "
+        "infeasibility; a bare except: (which also catches "
+        "KeyboardInterrupt/SystemExit) can convert those loud failures "
+        "into silently wrong solutions.  Catch the narrowest exception "
+        "that the handler actually handles."
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_src(module.scope_key)
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield module.violation(
+                    self,
+                    node,
+                    "bare except: clause; catch the narrowest exception "
+                    "the handler can actually handle",
+                )

@@ -1,0 +1,135 @@
+"""File collection and rule execution.
+
+The runner parses each file once, runs every applicable per-module rule
+on it, runs project rules once over the whole scanned set, filters
+suppressed findings, and returns a :class:`LintResult` the reporters
+render.  Unparseable files surface as ``RPL000`` findings rather than
+crashing the run, so a syntax error in one file never hides findings in
+the rest of the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.devtools.reprolint.model import SourceModule, Violation
+from repro.devtools.reprolint.registry import ProjectRule, Rule, all_rules
+
+#: Pseudo-rule id for files the parser rejects.
+SYNTAX_ERROR_ID = "RPL000"
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+    rule_ids: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return counts
+
+
+def collect_files(paths: Sequence["str | Path"]) -> List[Path]:
+    """Python files under the given files/directories, sorted, deduped."""
+    seen = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if any(part in _SKIP_DIR_NAMES for part in candidate.parts):
+                continue
+            seen[candidate.as_posix()] = candidate
+    return [seen[key] for key in sorted(seen)]
+
+
+def select_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Registered rules filtered by explicit select/ignore id lists."""
+    rules = all_rules()
+    known = {rule.rule_id for rule in rules}
+    for requested in list(select or []) + list(ignore or []):
+        if requested not in known:
+            raise KeyError(requested)
+    if select:
+        rules = [rule for rule in rules if rule.rule_id in set(select)]
+    if ignore:
+        rules = [rule for rule in rules if rule.rule_id not in set(ignore)]
+    return rules
+
+
+def lint_paths(
+    paths: Sequence["str | Path"],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint files/directories; returns the full result (never raises on
+    findings — the CLI turns them into the exit code)."""
+    rules = select_rules(select, ignore)
+    result = LintResult(rule_ids=[rule.rule_id for rule in rules])
+
+    modules: List[SourceModule] = []
+    raw_violations: List[tuple] = []  # (module or None, violation)
+    for path in collect_files(paths):
+        try:
+            module = SourceModule.parse(path)
+        except SyntaxError as error:
+            raw_violations.append(
+                (
+                    None,
+                    Violation(
+                        rule_id=SYNTAX_ERROR_ID,
+                        rule_name="syntax-error",
+                        path=str(path),
+                        line=error.lineno or 1,
+                        column=(error.offset or 1) - 1,
+                        message=f"file does not parse: {error.msg}",
+                    ),
+                )
+            )
+            continue
+        modules.append(module)
+    result.files_scanned = len(modules)
+
+    for module in modules:
+        for rule in rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            if not rule.applies_to(module):
+                continue
+            for violation in rule.check(module):
+                raw_violations.append((module, violation))
+
+    module_by_path = {module.path: module for module in modules}
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            for violation in rule.check_project(modules):
+                raw_violations.append(
+                    (module_by_path.get(violation.path), violation)
+                )
+
+    for module, violation in raw_violations:
+        if module is not None and module.is_suppressed(violation):
+            result.suppressed += 1
+        else:
+            result.violations.append(violation)
+    result.violations.sort(key=Violation.sort_key)
+    return result

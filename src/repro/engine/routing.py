@@ -58,7 +58,9 @@ def solve_component_k2(
         # Forced singletons are already paid for; the WVC must see them
         # as free or it may buy a pair classifier redundantly.
         overlay = OverlayCost(cost)
-        for clf in forced:
+        # reprolint: ignore[RPL101] overlay.select is commutative — zeroing
+        # weights in any order yields the same overlay.
+        for clf in forced:  # reprolint: ignore[RPL101]
             overlay.select(clf)
         cost = overlay
     graph = mc3_to_bipartite_wvc(length_two, cost)

@@ -17,7 +17,7 @@ import math
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.core.costs import CostModel
-from repro.core.properties import Classifier, Query
+from repro.core.properties import Classifier, Query, classifier_sort_key
 from repro.exceptions import ReductionError, UncoverableQueryError
 
 
@@ -51,7 +51,9 @@ class BipartiteWVC:
 
     def cover_weight(self, cover: Set[Classifier]) -> float:
         total = 0.0
-        for label in cover:
+        # Canonical accumulation order: float addition over a hash-
+        # ordered set would tie the reported weight to the hash seed.
+        for label in sorted(cover, key=classifier_sort_key):
             if label in self.left:
                 total += self.left[label]
             elif label in self.right:

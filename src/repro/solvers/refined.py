@@ -26,7 +26,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 from repro.core.costs import OverlayCost
 from repro.core.instance import MC3Instance
 from repro.core.mincover import min_cover
-from repro.core.properties import Classifier, Query
+from repro.core.properties import Classifier, Query, classifier_sort_key
 from repro.core.solution import Solution
 from repro.preprocess import ALL_STEPS
 from repro.solvers.base import Solver
@@ -50,7 +50,8 @@ def refine_selection(
             if not clf <= q:
                 continue
             remaining = set(q)
-            for other in others:
+            # reprolint: ignore[RPL101] set-difference accumulation commutes.
+            for other in others:  # reprolint: ignore[RPL101]
                 if other <= q:
                     remaining -= other
             if remaining:
@@ -59,7 +60,11 @@ def refine_selection(
 
     for _round in range(max_rounds):
         improved = False
-        for clf in sorted(selected, key=lambda c: -instance.weight(c)):
+        # Secondary canonical key: sorted() is stable, so without it
+        # equal-weight classifiers would keep the set's hash order.
+        for clf in sorted(
+            selected, key=lambda c: (-instance.weight(c), classifier_sort_key(c))
+        ):
             weight = instance.weight(clf)
             if weight <= 0:
                 continue
@@ -67,7 +72,8 @@ def refine_selection(
             # Repair each broken query with the cheapest residual cover,
             # pricing already-selected classifiers (minus clf) at 0.
             overlay = OverlayCost(instance.cost)
-            for other in selected:
+            # reprolint: ignore[RPL101] overlay.select commutes.
+            for other in selected:  # reprolint: ignore[RPL101]
                 if other != clf:
                     overlay.select(other)
             repair: Set[Classifier] = set()
@@ -90,7 +96,13 @@ def refine_selection(
                 for picked in cover.classifiers:
                     if picked not in repair and overlay.cost(picked) > 0:
                         repair.add(picked)
-                repair_cost = sum(instance.weight(c) for c in repair)
+                # ``repair`` is a set: sum in canonical order so the
+                # rounded total (and the >= weight cutoffs below) never
+                # depend on the hash seed.
+                repair_cost = sum(
+                    instance.weight(c)
+                    for c in sorted(repair, key=classifier_sort_key)
+                )
                 if repair_cost >= weight:
                     feasible = False
                     break
