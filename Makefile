@@ -17,6 +17,7 @@ bench:
 # (bitmask) kernels, median timings written to BENCH_core.json.
 bench-save:
 	$(PYTHON) benchmarks/bench_bitspace.py --save BENCH_core.json
+	$(PYTHON) benchmarks/bench_resilience_overhead.py --save BENCH_resilience.json
 
 experiments:
 	$(PYTHON) -m repro.experiments all

@@ -1,0 +1,192 @@
+"""No-fault overhead of the resilient execution layer.
+
+The fault-tolerant dispatcher (``ResiliencePolicy`` →
+``run_components_resilient``) wraps every component solve in a chain
+state machine.  Its contract is that this costs (almost) nothing when
+nothing goes wrong: this bench solves the engine-parallel workload
+(the same shape as ``bench_engine_parallel.py``) plain and under a
+no-fault policy and asserts
+
+* bit-identical solutions (same classifiers, same cost), and
+* wrapper overhead **< 2 %** on the median of paired per-round time
+  ratios (variants interleave within each round so machine-load drift
+  cancels inside each pair; the median discards scheduler hiccups).
+
+The run with per-component cover validation (``validate_covers=True``,
+the policy default) is also timed and reported — validation is real
+work, so it is excluded from the 2 % assertion.
+
+Standalone usage (mirrors ``bench_bitspace.py`` / BENCH_core.json)::
+
+    python benchmarks/bench_resilience_overhead.py --save BENCH_resilience.json
+    python benchmarks/bench_resilience_overhead.py --smoke   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import random
+import sys
+import time
+from typing import Dict
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core import MC3Instance, TableCost  # noqa: E402
+from repro.core.properties import iter_nonempty_subsets  # noqa: E402
+from repro.engine import ResiliencePolicy  # noqa: E402
+from repro.solvers import make_solver  # noqa: E402
+
+BLOCKS = 24
+QUERIES_PER_BLOCK = 8
+REPEATS = 25
+OVERHEAD_LIMIT = 0.02
+
+
+def many_component_instance(
+    blocks: int = BLOCKS,
+    queries_per_block: int = QUERIES_PER_BLOCK,
+    seed: int = 0,
+) -> MC3Instance:
+    """The bench_engine_parallel workload: ``blocks`` property-disjoint
+    components, costs a pure function of the classifier."""
+    rng = random.Random(f"bench-engine-{seed}")
+    queries = []
+    costs: Dict[object, float] = {}
+    for block in range(blocks):
+        props = [f"b{block}p{i}" for i in range(8)]
+        block_queries = set()
+        while len(block_queries) < queries_per_block:
+            block_queries.add(frozenset(rng.sample(props, rng.randint(2, 3))))
+        for q in sorted(block_queries, key=sorted):
+            queries.append(q)
+            for clf in iter_nonempty_subsets(q):
+                key = repr(tuple(sorted(clf)))
+                costs.setdefault(clf, float(random.Random(key).randint(1, 50)))
+    return MC3Instance(queries, TableCost(costs), name="bench-resilience")
+
+
+def timed_rounds(factories, instance, repeats: int):
+    """Per-factory (per-round seconds, last result), measured round-robin.
+
+    Interleaving the variants inside each round means load/thermal
+    drift hits all of them equally instead of biasing whichever ran
+    last, which matters for a ±2 % assertion on ~100 ms solves.
+    """
+    rounds = [[] for _ in factories]
+    results = [None] * len(factories)
+    for factory in factories:  # warmup: caches, lazy imports, JIT-ish paths
+        factory().solve(instance)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            gc.collect()
+            for i, factory in enumerate(factories):
+                solver = factory()
+                started = time.perf_counter()
+                results[i] = solver.solve(instance)
+                rounds[i].append(time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return list(zip(rounds, results))
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def paired_overhead(base_rounds, variant_rounds) -> float:
+    """Median of the per-round variant/base ratios, minus one.
+
+    Each ratio pairs two solves adjacent in time, so machine-load drift
+    cancels within the pair; the median then discards the occasional
+    round a scheduler hiccup lands in.  Min-of-N is *not* robust enough
+    here: one unusually fast base round flips the sign of a ±2 % bound.
+    """
+    return median(v / b for b, v in zip(base_rounds, variant_rounds)) - 1.0
+
+
+def run_all(blocks: int = BLOCKS, repeats: int = REPEATS) -> Dict[str, object]:
+    instance = many_component_instance(blocks=blocks)
+
+    measured = timed_rounds(
+        [
+            lambda: make_solver("mc3-general", jobs=1),
+            lambda: make_solver(
+                "mc3-general",
+                jobs=1,
+                resilience=ResiliencePolicy(validate_covers=False),
+            ),
+            lambda: make_solver(
+                "mc3-general", jobs=1, resilience=ResiliencePolicy()
+            ),
+        ],
+        instance,
+        repeats,
+    )
+    (plain_r, plain), (wrapper_r, wrapped), (validated_r, validated) = measured
+    plain_s, wrapper_s, validated_s = min(plain_r), min(wrapper_r), min(validated_r)
+
+    # The wrapper must not change the answer...
+    assert wrapped.solution.classifiers == plain.solution.classifiers
+    assert validated.solution.classifiers == plain.solution.classifiers
+    assert wrapped.cost == plain.cost == validated.cost
+    # ...and a clean run must not be reported as partial.
+    assert wrapped.details["engine"]["resilience"]["failures"] == 0
+
+    overhead = paired_overhead(plain_r, wrapper_r)
+    validated_overhead = paired_overhead(plain_r, validated_r)
+    print(f"plain engine        : {plain_s:.4f}s (min of {repeats})")
+    print(f"resilient, no checks: {wrapper_s:.4f}s ({overhead:+.2%} paired median)")
+    print(f"resilient, validated: {validated_s:.4f}s ({validated_overhead:+.2%} paired median)")
+
+    assert overhead < OVERHEAD_LIMIT, (
+        f"no-fault wrapper overhead {overhead:+.2%} exceeds "
+        f"{OVERHEAD_LIMIT:.0%} on the engine-parallel workload"
+    )
+    return {
+        "workload": {
+            "blocks": blocks,
+            "queries_per_block": QUERIES_PER_BLOCK,
+            "repeats": repeats,
+        },
+        "plain_seconds": plain_s,
+        "resilient_seconds": wrapper_s,
+        "resilient_validated_seconds": validated_s,
+        "overhead_fraction": overhead,
+        "validated_overhead_fraction": validated_overhead,
+        "limit_fraction": OVERHEAD_LIMIT,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--save", metavar="PATH", help="write results as JSON")
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized subset (fewer repeats)"
+    )
+    options = parser.parse_args(argv)
+    if options.smoke:
+        results = run_all(blocks=12, repeats=25)
+    else:
+        results = run_all()
+    if options.save:
+        with open(options.save, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"wrote {options.save}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

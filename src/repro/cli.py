@@ -24,6 +24,26 @@ from repro.exceptions import ReproError
 from repro.solvers import available_solvers, make_solver
 
 
+def _resilience_policy(args: argparse.Namespace):
+    """Build a :class:`~repro.engine.ResiliencePolicy` from the CLI
+    flags, or ``None`` when every resilience flag is at its default (the
+    zero-overhead plain dispatch path)."""
+    timeout = getattr(args, "timeout", None)
+    on_error = getattr(args, "on_error", "raise")
+    max_retries = getattr(args, "max_retries", 0)
+    fallback = getattr(args, "fallback", None)
+    if timeout is None and on_error == "raise" and not max_retries and not fallback:
+        return None
+    from repro.engine import ResiliencePolicy
+
+    return ResiliencePolicy(
+        timeout_seconds=timeout,
+        on_error=on_error,
+        max_retries=max_retries,
+        fallback=tuple(fallback or ()),
+    )
+
+
 def _solver_kwargs(args: argparse.Namespace) -> dict:
     """Engine-level solver options shared by the solve/plan/compare
     subcommands.  Only non-default values are forwarded, so solvers that
@@ -34,6 +54,9 @@ def _solver_kwargs(args: argparse.Namespace) -> dict:
         kwargs["jobs"] = args.jobs
     if getattr(args, "dispatch_k2", False):
         kwargs["dispatch_k2"] = True
+    policy = _resilience_policy(args)
+    if policy is not None:
+        kwargs["resilience"] = policy
     return kwargs
 
 
@@ -52,6 +75,43 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="solve components whose queries all have length <= 2 exactly "
         "via max-flow instead of the WSC approximation",
     )
+    from repro.engine.resilience import FALLBACK_RUNGS, ON_ERROR_POLICIES
+
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-component wall-clock budget; an attempt exceeding it "
+        "counts as a failure and moves down the fallback chain",
+    )
+    parser.add_argument(
+        "--on-error",
+        dest="on_error",
+        choices=ON_ERROR_POLICIES,
+        default="raise",
+        help="what to do when a component exhausts its fallback chain: "
+        "raise (default), degrade to the query-oriented cover, or skip "
+        "the component and report a partial solution",
+    )
+    parser.add_argument(
+        "--max-retries",
+        dest="max_retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-attempt a failed rung up to N times before falling back "
+        "(deterministic backoff, default 0)",
+    )
+    parser.add_argument(
+        "--fallback",
+        nargs="*",
+        choices=sorted(FALLBACK_RUNGS),
+        default=None,
+        metavar="RUNG",
+        help="fallback rungs tried in order after the primary solver "
+        f"fails (choices: {', '.join(sorted(FALLBACK_RUNGS))})",
+    )
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -62,6 +122,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"cost     : {result.cost:g}")
     print(f"selected : {len(result.solution)} classifiers")
     print(f"time     : {result.elapsed_seconds:.3f}s")
+    from repro.engine import PartialSolution
+
+    if isinstance(result.solution, PartialSolution):
+        solution = result.solution
+        print(
+            f"partial  : {len(solution.failures)} failure(s), "
+            f"{len(solution.degraded_components)} degraded, "
+            f"{len(solution.skipped_components)} skipped, "
+            f"{len(solution.uncovered_queries)} queries uncovered"
+        )
     if args.verbose:
         for label in result.solution.sorted_labels():
             print(f"  {label}")

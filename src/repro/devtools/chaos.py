@@ -1,0 +1,193 @@
+"""Deterministic chaos harness for the resilient engine.
+
+A :class:`ChaosInjector` wraps any ``solve_component`` rung and injects
+faults on a schedule derived *only* from ``(seed, component index, rung
+name, attempt)`` — no RNG state, no wall clock, no environment — so
+every resilience behavior (retry, fallback, timeout, worker death,
+infeasible output, degradation) is reproducible in CI without real
+crashes, and a run with a fixed seed is bit-identical across ``jobs=1``
+and ``jobs=N``.
+
+Fault modes:
+
+``"fault"``
+    Raise :class:`ChaosError` (a :class:`~repro.exceptions.SolverError`)
+    before the rung runs.
+``"stall"``
+    Sleep ``stall_seconds`` before the rung runs — long enough to blow
+    a wall-clock budget, short enough to finish eventually, so
+    abandoned workers never outlive the test.
+``"crash"``
+    Kill the worker process (``os._exit``), producing a real
+    ``BrokenProcessPool`` in pool mode.  In the *main* process the same
+    schedule raises :class:`ChaosWorkerCrash` instead — the resilient
+    executor recognises its ``simulates_worker_crash`` marker — so the
+    sequential path exercises the identical chain transitions without
+    killing the interpreter.
+``"infeasible"``
+    Run the rung, then discard its answer and return an empty cover —
+    the resilient executor's independent per-component verification
+    must catch it and move down the chain.
+
+The decision function hashes with SHA-256, so the schedule is identical
+across processes and interpreters regardless of ``PYTHONHASHSEED`` —
+exactly the property that lets a forked worker and the parent agree on
+the schedule.  An explicit ``plan`` mapping overrides the rate-based
+schedule for precise test scenarios.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import SolverError
+
+#: Recognised injection modes.
+CHAOS_MODES = ("fault", "stall", "crash", "infeasible")
+
+#: Exit code used when chaos kills a pool worker, chosen to be
+#: recognisable in process tables and CI logs.
+CHAOS_EXIT_CODE = 43
+
+
+class ChaosError(SolverError):
+    """An injected (scheduled, deterministic) component-solve failure."""
+
+
+class ChaosWorkerCrash(SolverError):
+    """In-process stand-in for a worker death.
+
+    Raised instead of ``os._exit`` when the chaos schedule says "crash"
+    but the code is running in the main process (sequential path, or a
+    quarantined component).  The ``simulates_worker_crash`` marker lets
+    the resilient executor count it as a crash without importing this
+    module — the engine layer stays below devtools.
+    """
+
+    simulates_worker_crash = True
+
+
+def _unit_interval(seed: int, index: int, rung: str, attempt: int) -> float:
+    """A reproducible value in [0, 1) for one attempt key.
+
+    SHA-256 rather than ``hash()``: the schedule must not depend on the
+    interpreter's hash seed, or forked workers and spawned workers
+    would disagree with the parent.
+    """
+    key = f"{seed}|{index}|{rung}|{attempt}".encode("utf-8")
+    digest = hashlib.sha256(key).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _in_worker_process() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def _die() -> None:
+    """Kill the current worker; simulate the death in the main process."""
+    if _in_worker_process():
+        os._exit(CHAOS_EXIT_CODE)
+    raise ChaosWorkerCrash(
+        "injected worker crash (simulated in-process: the main process "
+        "must survive to observe it)"
+    )
+
+
+def _stall(seconds: float) -> None:
+    time.sleep(seconds)
+
+
+@dataclass(frozen=True)
+class ChaosInjector:
+    """Seeded, deterministic fault injector.
+
+    ``*_rate`` parameters partition the unit interval: for each attempt
+    key the hashed value lands in the fault, stall, crash, infeasible,
+    or clean region, in that order.  ``plan`` pins specific attempts to
+    a mode (or to ``None`` for explicitly clean), overriding the rates —
+    the precise tool for test scenarios like "component 2's primary
+    stalls once, everything else is clean".
+    """
+
+    seed: int = 0
+    fault_rate: float = 0.0
+    stall_rate: float = 0.0
+    crash_rate: float = 0.0
+    infeasible_rate: float = 0.0
+    stall_seconds: float = 0.5
+    plan: Mapping[Tuple[int, str, int], Optional[str]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        total = (
+            self.fault_rate + self.stall_rate + self.crash_rate + self.infeasible_rate
+        )
+        if total > 1.0 + 1e-12:
+            raise SolverError(f"chaos rates sum to {total}, must be <= 1")
+        for mode in self.plan.values():
+            if mode is not None and mode not in CHAOS_MODES:
+                raise SolverError(
+                    f"unknown chaos mode {mode!r} (known: {CHAOS_MODES})"
+                )
+
+    def decision(self, index: int, rung: str, attempt: int) -> Optional[str]:
+        """The scheduled mode for one attempt, or ``None`` for clean."""
+        key = (index, rung, attempt)
+        if key in self.plan:
+            return self.plan[key]
+        value = _unit_interval(self.seed, index, rung, attempt)
+        threshold = 0.0
+        for mode, rate in (
+            ("fault", self.fault_rate),
+            ("stall", self.stall_rate),
+            ("crash", self.crash_rate),
+            ("infeasible", self.infeasible_rate),
+        ):
+            threshold += rate
+            if value < threshold:
+                return mode
+        return None
+
+    def wrap(self, rung, index: int, attempt: int) -> "ChaosRung":
+        """A picklable rung applying this schedule around ``rung``."""
+        return ChaosRung(self, rung, index, attempt)
+
+
+class ChaosRung:
+    """One chain attempt wrapped with its scheduled fault (picklable)."""
+
+    __slots__ = ("injector", "rung", "index", "attempt", "name")
+
+    def __init__(self, injector: ChaosInjector, rung, index: int, attempt: int):
+        self.injector = injector
+        self.rung = rung
+        self.index = index
+        self.attempt = attempt
+        self.name = rung.name
+
+    def __getstate__(self):
+        return (self.injector, self.rung, self.index, self.attempt, self.name)
+
+    def __setstate__(self, state):
+        self.injector, self.rung, self.index, self.attempt, self.name = state
+
+    def solve_component(self, component):
+        mode = self.injector.decision(self.index, self.name, self.attempt)
+        if mode == "crash":
+            _die()
+        if mode == "fault":
+            raise ChaosError(
+                f"injected fault: component {self.index}, rung {self.name!r}, "
+                f"attempt {self.attempt}"
+            )
+        if mode == "stall":
+            _stall(self.injector.stall_seconds)
+        classifiers, details = self.rung.solve_component(component)
+        if mode == "infeasible":
+            corrupted: Dict[str, object] = {"chaos": "infeasible"}
+            return set(), corrupted
+        return classifiers, details

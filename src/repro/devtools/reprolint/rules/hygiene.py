@@ -13,7 +13,7 @@ from typing import Iterable
 
 from repro.devtools.reprolint.model import SourceModule, Violation
 from repro.devtools.reprolint.registry import Rule, register
-from repro.devtools.reprolint.scopes import in_src
+from repro.devtools.reprolint.scopes import in_resilience_scope, in_src
 
 _MUTABLE_CONSTRUCTORS = {
     "list",
@@ -100,4 +100,82 @@ class BareExceptRule(Rule):
                     node,
                     "bare except: clause; catch the narrowest exception "
                     "the handler can actually handle",
+                )
+
+
+def _caught_names(type_node: ast.AST) -> Iterable[ast.AST]:
+    """The individual exception expressions of an ``except`` clause
+    (a tuple clause yields each member)."""
+    if isinstance(type_node, ast.Tuple):
+        for element in type_node.elts:
+            yield element
+    else:
+        yield type_node
+
+
+def _exception_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a bare ``raise``."""
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+@register
+class BroadExceptInResilienceRule(Rule):
+    rule_id = "RPL404"
+    name = "broad-except-in-fault-path"
+    summary = (
+        "engine/ and the chaos harness must catch named exceptions, "
+        "never Exception, and must re-raise KeyboardInterrupt/SystemExit"
+    )
+    rationale = (
+        "The resilient executor's whole contract is that every caught "
+        "failure is *classified* — error, timeout, crash, infeasible, "
+        "uncoverable — and recorded as a ComponentFailure.  An `except "
+        "Exception:` in that perimeter cannot classify what it caught, "
+        "so it converts unknown bugs into quietly degraded solutions; "
+        "and a handler that swallows KeyboardInterrupt or SystemExit "
+        "turns Ctrl-C into an infinite retry loop.  Catch ReproError "
+        "subclasses or specific named stdlib exceptions, and if "
+        "KeyboardInterrupt/SystemExit/BaseException appear in a clause "
+        "the handler must re-raise (a bare `raise`)."
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_resilience_scope(module.scope_key)
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue  # bare except: is RPL402's finding
+            names = [_exception_name(expr) for expr in _caught_names(node.type)]
+            if "Exception" in names:
+                yield module.violation(
+                    self,
+                    node,
+                    "except Exception: in the fault-handling perimeter; "
+                    "catch ReproError subclasses or the specific stdlib "
+                    "exceptions the handler classifies",
+                )
+            interrupting = [
+                name
+                for name in names
+                if name in ("BaseException", "KeyboardInterrupt", "SystemExit")
+            ]
+            if interrupting and not _reraises(node):
+                yield module.violation(
+                    self,
+                    node,
+                    f"handler catches {', '.join(interrupting)} without a "
+                    "bare `raise`; interpreter-exit exceptions must "
+                    "propagate out of the fault-handling perimeter",
                 )

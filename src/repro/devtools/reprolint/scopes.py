@@ -80,6 +80,16 @@ def in_mask_scope(scope_key: str) -> bool:
     return repro_relative(scope_key) in MASK_MODULES
 
 
+def in_resilience_scope(scope_key: str) -> bool:
+    """The fault-handling perimeter (RPL404): the engine package plus
+    the chaos harness — the modules whose ``except`` clauses decide
+    whether a failure is recovered, degraded, or silently eaten."""
+    rel = repro_relative(scope_key)
+    if rel is None:
+        return False
+    return rel.startswith("engine/") or rel == "devtools/chaos.py"
+
+
 def in_solvers_dir(scope_key: str) -> bool:
     rel = repro_relative(scope_key)
     return rel is not None and rel.startswith("solvers/")

@@ -4,14 +4,25 @@ Owns the solve pipeline every MC³ solver shares — preprocessing,
 component scheduling, per-component dispatch (sequential or process
 pool), deterministic merging, and per-stage telemetry — so solvers
 implement only the narrow ``solve_component`` contract.  See
-:mod:`repro.engine.engine` for the pipeline and
+:mod:`repro.engine.engine` for the pipeline,
 :mod:`repro.engine.routing` for engine-level rules like the exact
-k ≤ 2 dispatch.
+k ≤ 2 dispatch, and :mod:`repro.engine.resilience` for the
+fault-tolerant execution layer (budgets, fallback chains, worker-crash
+recovery, partial solutions).
 """
 
 from repro.engine.component import ComponentOutcome, SolvesComponents
 from repro.engine.engine import SolveEngine
-from repro.engine.executors import run_components
+from repro.engine.executors import pool_context, run_components
+from repro.engine.resilience import (
+    FALLBACK_RUNGS,
+    ComponentFailure,
+    PartialSolution,
+    ResiliencePolicy,
+    ResilienceReport,
+    resolve_rung,
+    run_components_resilient,
+)
 from repro.engine.routing import (
     EXACT_K2_ROUTE,
     Route,
@@ -21,14 +32,22 @@ from repro.engine.routing import (
 from repro.engine.telemetry import EngineTelemetry, size_histogram
 
 __all__ = [
+    "ComponentFailure",
     "ComponentOutcome",
     "EXACT_K2_ROUTE",
     "EngineTelemetry",
+    "FALLBACK_RUNGS",
+    "PartialSolution",
+    "ResiliencePolicy",
+    "ResilienceReport",
     "Route",
     "SolveEngine",
     "SolvesComponents",
     "exact_k2_route",
+    "pool_context",
+    "resolve_rung",
     "run_components",
+    "run_components_resilient",
     "size_histogram",
     "solve_component_k2",
 ]

@@ -44,9 +44,24 @@ class ComponentOutcome:
     runs produce bit-identical results.  ``route`` names the engine
     routing rule that handled the component, or ``None`` when the
     default component solver did.
+
+    Under a resilience policy (see :mod:`repro.engine.resilience`)
+    ``rung`` names the fallback-chain rung that finally produced the
+    answer (``"degraded"``/``"skipped"`` for the on_error outcomes) and
+    ``attempts`` counts every attempt spent, including failed ones.
+    Plain runs leave ``rung`` as ``None`` and ``attempts`` at 1.
     """
 
-    __slots__ = ("index", "classifiers", "details", "seconds", "size", "route")
+    __slots__ = (
+        "index",
+        "classifiers",
+        "details",
+        "seconds",
+        "size",
+        "route",
+        "rung",
+        "attempts",
+    )
 
     def __init__(
         self,
@@ -56,6 +71,8 @@ class ComponentOutcome:
         seconds: float,
         size: int,
         route: Optional[str] = None,
+        rung: Optional[str] = None,
+        attempts: int = 1,
     ):
         self.index = index
         self.classifiers = frozenset(classifiers)
@@ -63,9 +80,13 @@ class ComponentOutcome:
         self.seconds = seconds
         self.size = size
         self.route = route
+        self.rung = rung
+        self.attempts = attempts
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         via = f" via {self.route}" if self.route else ""
+        if self.rung is not None:
+            via += f" rung={self.rung} attempts={self.attempts}"
         return (
             f"<ComponentOutcome #{self.index}: {len(self.classifiers)} classifiers, "
             f"{self.size} queries, {self.seconds:.3f}s{via}>"

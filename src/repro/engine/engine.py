@@ -34,6 +34,11 @@ from repro.core.instance import MC3Instance
 from repro.core.solution import Solution
 from repro.engine.component import ComponentOutcome, SolvesComponents
 from repro.engine.executors import ComponentTask, run_components
+from repro.engine.resilience import (
+    PartialSolution,
+    ResiliencePolicy,
+    run_components_resilient,
+)
 from repro.engine.routing import Route
 from repro.engine.telemetry import EngineTelemetry
 from repro.preprocess import ALL_STEPS, preprocess
@@ -54,6 +59,13 @@ class SolveEngine:
     routes:
         Engine-level routing rules tried in order before the default
         component solver (see :func:`repro.engine.routing.exact_k2_route`).
+    resilience:
+        Optional :class:`~repro.engine.resilience.ResiliencePolicy`.
+        ``None`` (the default) keeps the zero-overhead plain dispatch
+        path; a policy activates per-component budgets, fallback
+        chains, worker-crash recovery, and the ``on_error`` behavior —
+        runs that degraded or skipped components return a
+        :class:`~repro.engine.resilience.PartialSolution`.
     """
 
     def __init__(
@@ -61,10 +73,12 @@ class SolveEngine:
         preprocess_steps: Sequence[int] = ALL_STEPS,
         jobs: int = 1,
         routes: Sequence[Route] = (),
+        resilience: Optional[ResiliencePolicy] = None,
     ):
         self.preprocess_steps = tuple(preprocess_steps)
         self.jobs = max(1, int(jobs))
         self.routes = tuple(routes)
+        self.resilience = resilience
 
     # ------------------------------------------------------------------
 
@@ -80,7 +94,14 @@ class SolveEngine:
         telemetry.preprocess_seconds = prep.report.elapsed_seconds
 
         dispatch_started = time.perf_counter()
-        outcomes = run_components(tasks, jobs=self.jobs)
+        if self.resilience is not None:
+            outcomes, resilience_report = run_components_resilient(
+                tasks, jobs=self.jobs, policy=self.resilience
+            )
+            telemetry.resilience = resilience_report.as_dict()
+        else:
+            outcomes = run_components(tasks, jobs=self.jobs)
+            resilience_report = None
         telemetry.solve_seconds = time.perf_counter() - dispatch_started
 
         merge_started = time.perf_counter()
@@ -93,8 +114,18 @@ class SolveEngine:
                 outcome.seconds,
                 outcome.route,
                 bitspace if isinstance(bitspace, dict) else None,
+                rung=outcome.rung,
             )
         solution = prep.finalize(selected)
+        if resilience_report is not None and not resilience_report.clean:
+            solution = PartialSolution(
+                solution.classifiers,
+                solution.cost,
+                failures=resilience_report.failures,
+                uncovered_queries=resilience_report.uncovered_queries,
+                degraded_components=sorted(resilience_report.degraded),
+                skipped_components=sorted(resilience_report.skipped),
+            )
         telemetry.merge_seconds = time.perf_counter() - merge_started
 
         details: Dict[str, object] = {

@@ -14,24 +14,49 @@ Process-pool notes:
   function), mirroring the constraint of
   :mod:`repro.experiments.parallel`.
 * Solver exceptions (e.g. :class:`~repro.exceptions.UncoverableQueryError`)
-  propagate to the caller exactly as in sequential mode.
-* On POSIX the default ``fork`` start method keeps worker hash seeds
-  identical to the parent's, so even hash-order-sensitive iteration
-  cannot diverge between modes.
+  propagate to the caller with their original type, annotated with the
+  failing component's index (``exc.component_index``) and the worker's
+  formatted traceback (``exc.worker_traceback``) — the remote traceback
+  itself does not survive pickling, so the worker captures it as a
+  string before re-raising.
+* The pool is created with an explicit ``fork`` start method wherever
+  the platform offers one (:func:`pool_context`), because fork is what
+  keeps worker hash seeds identical to the parent's — under ``spawn``
+  each worker re-randomises ``PYTHONHASHSEED`` and hash-order-sensitive
+  iteration could diverge between sequential and parallel runs.
+  Platforms without fork fall back to the default start method; the
+  engine's determinism then rests entirely on the kernels being
+  hash-order clean (which reprolint RPL101/RPL102 enforce).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.instance import MC3Instance
 from repro.core.properties import Classifier
 from repro.engine.component import ComponentOutcome, SolvesComponents
+from repro.exceptions import ReproError
 
 #: One unit of work: (component index, solver-like, component, route name).
 ComponentTask = Tuple[int, SolvesComponents, MC3Instance, Optional[str]]
+
+
+def pool_context():
+    """The multiprocessing context engine pools are built on.
+
+    Explicitly ``fork`` where available (POSIX): forked workers inherit
+    the parent's hash seed, preserving the bit-identical-workers
+    invariant documented above.  Returns ``None`` (the platform
+    default) only where fork does not exist, e.g. Windows.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
 
 
 def _solve_one(
@@ -40,7 +65,17 @@ def _solve_one(
     """Worker: solve one component, timed.  Module-level for pickling."""
     index, solver, component, route = task
     started = time.perf_counter()
-    classifiers, details = solver.solve_component(component)
+    try:
+        classifiers, details = solver.solve_component(component)
+    except ReproError as exc:
+        # Annotate in the worker, where the real traceback still exists.
+        # Instance attributes survive pickling via the exception's state
+        # dict, so the parent sees which component failed and why even
+        # though the remote traceback object itself cannot cross the
+        # process boundary.
+        exc.component_index = index
+        exc.worker_traceback = traceback.format_exc()
+        raise
     seconds = time.perf_counter() - started
     return index, frozenset(classifiers), details, seconds, component.n, route
 
@@ -67,7 +102,7 @@ def run_process_pool(tasks: List[ComponentTask], jobs: int) -> List[ComponentOut
     sequential executor produces.
     """
     workers = max(1, min(jobs, len(tasks)))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(max_workers=workers, mp_context=pool_context()) as pool:
         rows = list(pool.map(_solve_one, tasks))
     return _to_outcomes(rows)
 

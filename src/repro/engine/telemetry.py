@@ -46,6 +46,8 @@ class EngineTelemetry:
         "component_sizes",
         "component_seconds",
         "routed",
+        "rungs",
+        "resilience",
         "bitspace_properties",
         "bitspace_elements",
         "bitspace_sets",
@@ -60,6 +62,11 @@ class EngineTelemetry:
         self.component_sizes: List[int] = []
         self.component_seconds: List[float] = []
         self.routed: Dict[str, int] = {}
+        # Fallback-chain resolution counts per rung name (resilient runs
+        # only; plain runs leave this empty) and the resilience report
+        # rendered by the engine when a policy was active.
+        self.rungs: Dict[str, int] = {}
+        self.resilience: Optional[Dict[str, object]] = None
         # Per-component bitset property-space footprints (components
         # whose solver reported a "bitspace" details entry — i.e. went
         # through the interned-mask WSC path rather than e.g. max-flow).
@@ -73,11 +80,14 @@ class EngineTelemetry:
         seconds: float,
         route: Optional[str],
         bitspace: Optional[Dict[str, int]] = None,
+        rung: Optional[str] = None,
     ) -> None:
         self.component_sizes.append(size)
         self.component_seconds.append(seconds)
         if route is not None:
             self.routed[route] = self.routed.get(route, 0) + 1
+        if rung is not None:
+            self.rungs[rung] = self.rungs.get(rung, 0) + 1
         if bitspace is not None:
             self.bitspace_properties.append(int(bitspace.get("properties", 0)))
             self.bitspace_elements.append(int(bitspace.get("elements", 0)))
@@ -100,7 +110,7 @@ class EngineTelemetry:
         }
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        rendered: Dict[str, object] = {
             "jobs": self.jobs,
             "mode": self.mode,
             "preprocess_seconds": self.preprocess_seconds,
@@ -112,3 +122,8 @@ class EngineTelemetry:
             "routed": dict(self.routed),
             "bitspace": self.bitspace_summary(),
         }
+        if self.rungs:
+            rendered["rungs"] = dict(self.rungs)
+        if self.resilience is not None:
+            rendered["resilience"] = self.resilience
+        return rendered

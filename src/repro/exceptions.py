@@ -37,6 +37,16 @@ class UncoverableQueryError(ReproError):
             message = f"query {sorted(query)!r} has no finite-cost cover"
         super().__init__(message)
 
+    def __reduce__(self):
+        # The default BaseException reduction replays ``args`` through
+        # ``__init__`` — here args is ``(message,)``, so an unpickled
+        # copy (e.g. raised in a pool worker) would rebuild with
+        # ``query=message`` and a garbled text.  Round-trip the real
+        # ``(query, message)`` pair instead; extra attributes attached
+        # by the executor (worker traceback, component index) ride along
+        # in the state dict.
+        return (type(self), (self.query, self.args[0]), self.__dict__)
+
 
 class InfeasibleSolutionError(ReproError):
     """A produced solution fails the independent coverage verification."""
@@ -52,6 +62,41 @@ class ReductionError(ReproError):
 
 class SolverError(ReproError):
     """A solver failed for a reason other than an invalid instance."""
+
+
+class FallbackExhaustedError(SolverError):
+    """Every rung of a component's fallback chain failed.
+
+    Raised by the resilient executor under ``on_error="raise"`` once the
+    primary solver, every retry, and every declared fallback rung have
+    failed for one component.  ``failures`` is the full chain history —
+    one :class:`~repro.engine.resilience.ComponentFailure` per failed
+    attempt, in the order they happened — and ``component_index`` names
+    the component in the deterministic preprocessing order.
+    """
+
+    def __init__(self, component_index: int, failures=(), message: str | None = None):
+        self.component_index = int(component_index)
+        self.failures = tuple(failures)
+        if message is None:
+            chain = " -> ".join(
+                f"{f.rung}#{f.attempt}:{f.kind}" for f in self.failures
+            ) or "<empty chain>"
+            message = (
+                f"component {component_index}: all fallback rungs failed "
+                f"({chain})"
+            )
+        super().__init__(message)
+
+    def __reduce__(self):
+        # Same rationale as UncoverableQueryError: args holds only the
+        # rendered message, so replaying it through __init__ would shift
+        # the message into component_index.
+        return (
+            type(self),
+            (self.component_index, self.failures, self.args[0]),
+            self.__dict__,
+        )
 
 
 class DatasetError(ReproError):

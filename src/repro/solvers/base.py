@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.instance import MC3Instance
 from repro.core.properties import Classifier
 from repro.core.solution import Solution, SolverResult
 from repro.engine.component import ComponentOutcome
 from repro.engine.engine import SolveEngine
+from repro.engine.resilience import ResiliencePolicy
 from repro.engine.routing import Route
 from repro.preprocess import ALL_STEPS
 
@@ -73,6 +74,13 @@ class ComponentSolver(Solver):
     :meth:`aggregate_details` (fold per-component details into the
     result's details dict), and :meth:`validate_instance` (domain checks
     that must run before preprocessing).
+
+    ``resilience`` (a :class:`~repro.engine.ResiliencePolicy`, default
+    ``None``) activates the engine's fault-tolerant execution layer —
+    per-component budgets, fallback chains, and the ``on_error``
+    behavior.  Runs that degrade or skip components return a
+    :class:`~repro.engine.PartialSolution`, whose ``verify`` knows to
+    exclude the recorded uncovered queries from the coverage check.
     """
 
     def __init__(
@@ -80,9 +88,11 @@ class ComponentSolver(Solver):
         preprocess_steps: Sequence[int] = ALL_STEPS,
         jobs: int = 1,
         verify: bool = True,
+        resilience: Optional[ResiliencePolicy] = None,
     ):
         super().__init__(verify=verify, jobs=jobs)
         self.preprocess_steps = tuple(preprocess_steps)
+        self.resilience = resilience
 
     # -- the narrow contract -------------------------------------------
 
@@ -117,5 +127,6 @@ class ComponentSolver(Solver):
             preprocess_steps=self.preprocess_steps,
             jobs=self.jobs,
             routes=self.routes(),
+            resilience=self.resilience,
         )
         return engine.run(instance, self)

@@ -9,11 +9,12 @@ per-component exact WSC solve lives here.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.core.bitspace import PropertySpace
 from repro.core.instance import MC3Instance
 from repro.core.properties import Classifier
+from repro.engine.resilience import ResiliencePolicy
 from repro.exceptions import SolverError
 from repro.preprocess import ALL_STEPS
 from repro.reductions import mc3_to_wsc
@@ -40,8 +41,14 @@ class ExactSolver(ComponentSolver):
         engine: str = "combinatorial",
         jobs: int = 1,
         verify: bool = True,
+        resilience: Optional[ResiliencePolicy] = None,
     ):
-        super().__init__(preprocess_steps=preprocess_steps, jobs=jobs, verify=verify)
+        super().__init__(
+            preprocess_steps=preprocess_steps,
+            jobs=jobs,
+            verify=verify,
+            resilience=resilience,
+        )
         if engine not in ("combinatorial", "lp"):
             raise SolverError(f"unknown exact engine {engine!r}")
         self.node_limit = node_limit

@@ -24,6 +24,7 @@ from repro.core.bitspace import PropertySpace
 from repro.core.instance import MC3Instance
 from repro.core.properties import Classifier
 from repro.engine.component import ComponentOutcome
+from repro.engine.resilience import ResiliencePolicy
 from repro.engine.routing import EXACT_K2_ROUTE, Route, exact_k2_route
 from repro.preprocess import ALL_STEPS
 from repro.reductions import mc3_to_wsc
@@ -80,8 +81,14 @@ class GeneralSolver(ComponentSolver):
         dispatch_k2: bool = False,
         jobs: int = 1,
         verify: bool = True,
+        resilience: Optional[ResiliencePolicy] = None,
     ):
-        super().__init__(preprocess_steps=preprocess_steps, jobs=jobs, verify=verify)
+        super().__init__(
+            preprocess_steps=preprocess_steps,
+            jobs=jobs,
+            verify=verify,
+            resilience=resilience,
+        )
         self.wsc_method = wsc_method
         self.lp_size_limit = lp_size_limit
         self.prune = prune

@@ -15,11 +15,12 @@ route short components here from approximate solvers (``dispatch_k2``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.instance import MC3Instance
 from repro.core.properties import Classifier
 from repro.engine.component import ComponentOutcome
+from repro.engine.resilience import ResiliencePolicy
 from repro.engine.routing import solve_component_k2
 from repro.exceptions import ReductionError
 from repro.preprocess import ALL_STEPS
@@ -50,8 +51,14 @@ class K2Solver(ComponentSolver):
         preprocess_steps: Sequence[int] = ALL_STEPS,
         jobs: int = 1,
         verify: bool = True,
+        resilience: Optional[ResiliencePolicy] = None,
     ):
-        super().__init__(preprocess_steps=preprocess_steps, jobs=jobs, verify=verify)
+        super().__init__(
+            preprocess_steps=preprocess_steps,
+            jobs=jobs,
+            verify=verify,
+            resilience=resilience,
+        )
         self.flow_algorithm = flow_algorithm
 
     def validate_instance(self, instance: MC3Instance) -> None:

@@ -17,13 +17,14 @@ pipeline is the shared engine's.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.bitspace import PropertySpace
 from repro.core.instance import MC3Instance
 from repro.core.properties import Classifier
 from repro.core.solution import Solution
 from repro.engine.component import ComponentOutcome
+from repro.engine.resilience import ResiliencePolicy
 from repro.exceptions import SolverError, UncoverableQueryError
 from repro.reductions import mc3_to_wsc
 from repro.setcover.multicover import greedy_multicover
@@ -58,8 +59,14 @@ class RobustSolver(ComponentSolver):
         preprocess_steps: Sequence[int] = (2,),
         jobs: int = 1,
         verify: bool = True,
+        resilience: Optional[ResiliencePolicy] = None,
     ):
-        super().__init__(preprocess_steps=preprocess_steps, jobs=jobs, verify=verify)
+        super().__init__(
+            preprocess_steps=preprocess_steps,
+            jobs=jobs,
+            verify=verify,
+            resilience=resilience,
+        )
         if redundancy < 1:
             raise SolverError("redundancy must be >= 1")
         self.redundancy = int(redundancy)

@@ -21,6 +21,7 @@ from typing import Dict, Optional, Sequence, Set, Tuple
 from repro.core.costs import OverlayCost
 from repro.core.instance import MC3Instance
 from repro.core.solution import Solution
+from repro.engine.resilience import ResiliencePolicy
 from repro.preprocess import ALL_STEPS
 from repro.setcover import DEFAULT_SIZE_LIMIT
 from repro.solvers.base import Solver
@@ -44,6 +45,7 @@ class ShortFirstSolver(Solver):
         dispatch_k2: bool = False,
         jobs: int = 1,
         verify: bool = True,
+        resilience: Optional[ResiliencePolicy] = None,
     ):
         super().__init__(verify=verify, jobs=jobs)
         if threshold < 1:
@@ -54,6 +56,7 @@ class ShortFirstSolver(Solver):
         self.lp_size_limit = lp_size_limit
         self.preprocess_steps = tuple(preprocess_steps)
         self.dispatch_k2 = dispatch_k2
+        self.resilience = resilience
 
     def _solve(self, instance: MC3Instance) -> Tuple[Solution, Dict[str, object]]:
         short, long_ = instance.split_by_length(self.threshold)
@@ -66,6 +69,7 @@ class ShortFirstSolver(Solver):
                 preprocess_steps=self.preprocess_steps,
                 jobs=self.jobs,
                 verify=False,  # the combined solution is verified once
+                resilience=self.resilience,
             )
             short_result = k2.solve(short)
             selected |= short_result.solution.classifiers
@@ -86,6 +90,7 @@ class ShortFirstSolver(Solver):
                 dispatch_k2=self.dispatch_k2,
                 jobs=self.jobs,
                 verify=False,
+                resilience=self.resilience,
             )
             long_result = general.solve(residual)
             selected |= long_result.solution.classifiers

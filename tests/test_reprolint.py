@@ -193,6 +193,25 @@ PAIRED_FIXTURES = {
                 return None
         """,
     ),
+    "RPL404": (
+        "src/repro/engine/fixture_guard.py",
+        """
+        def dispatch(callback):
+            try:
+                return callback()
+            except Exception:
+                return None
+        """,
+        """
+        from repro.exceptions import SolverError
+
+        def dispatch(callback):
+            try:
+                return callback()
+            except (SolverError, MemoryError):
+                return None
+        """,
+    ),
 }
 
 # RPL302 needs two files (registry + solver module) per scan.
@@ -337,6 +356,48 @@ def test_rpl101_sum_over_set_is_flagged(tmp_path):
 def test_rpl101_outside_scope_is_clean(tmp_path):
     rel = "src/repro/datasets/sampling.py"  # not a kernel directory
     _rel, bad, _good = PAIRED_FIXTURES["RPL101"]
+    write_module(tmp_path, rel, bad)
+    assert lint(tmp_path).ok
+
+
+def test_rpl404_keyboard_interrupt_without_reraise(tmp_path):
+    write_module(
+        tmp_path,
+        "src/repro/devtools/chaos.py",
+        """
+        def guarded(callback):
+            try:
+                return callback()
+            except KeyboardInterrupt:
+                return None
+        """,
+    )
+    flagged = [
+        v for v in lint(tmp_path).violations if v.rule_id == "RPL404"
+    ]
+    assert len(flagged) == 1
+    assert "KeyboardInterrupt" in flagged[0].message
+
+
+def test_rpl404_keyboard_interrupt_with_reraise_is_clean(tmp_path):
+    write_module(
+        tmp_path,
+        "src/repro/engine/cleanup.py",
+        """
+        def guarded(callback, release):
+            try:
+                return callback()
+            except (KeyboardInterrupt, SystemExit):
+                release()
+                raise
+        """,
+    )
+    assert lint(tmp_path).ok, render_text(lint(tmp_path))
+
+
+def test_rpl404_outside_scope_is_clean(tmp_path):
+    rel = "src/repro/extensions/broad.py"  # not the fault-handling perimeter
+    _rel, bad, _good = PAIRED_FIXTURES["RPL404"]
     write_module(tmp_path, rel, bad)
     assert lint(tmp_path).ok
 
