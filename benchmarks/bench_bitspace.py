@@ -34,6 +34,11 @@ sys.path.insert(
 )
 
 from repro.core import MC3Instance, OverlayCost, TableCost  # noqa: E402
+from repro.core.kernels import (  # noqa: E402
+    available_backends,
+    resolve_backend_name,
+    use_backend,
+)
 from repro.core.mincover import min_cover  # noqa: E402
 from repro.core.properties import iter_nonempty_subsets  # noqa: E402
 from repro.core.reference import (  # noqa: E402
@@ -123,6 +128,43 @@ def median_seconds(fn: Callable[[], object], repeats: int) -> float:
     return statistics.median(samples)
 
 
+def timed_backends(
+    run_new: Callable[[], object],
+    repeats: int,
+    identical: Callable[[object], bool],
+) -> Dict[str, Dict]:
+    """Run the kernel path under every *available* backend — equivalence
+    check first, then timing — selected through ``use_backend`` so the
+    benchmarked code is exactly what callers get.  An absent numpy simply
+    drops the array entry from the report."""
+    entries: Dict[str, Dict] = {}
+    for name in available_backends():
+        with use_backend(name):
+            entries[name] = {
+                "identical": identical(run_new()),
+                "median_s": median_seconds(run_new, repeats),
+            }
+    return entries
+
+
+def workload_entry(
+    params: Dict,
+    run_new: Callable[[], object],
+    reference_median: float,
+    repeats: int,
+    identical: Callable[[object], bool],
+    outputs: Dict,
+) -> Dict:
+    backends = timed_backends(run_new, repeats, identical)
+    return {
+        "params": params,
+        "identical": all(entry["identical"] for entry in backends.values()),
+        "reference_median_s": reference_median,
+        "backends": backends,
+        "outputs": outputs,
+    }
+
+
 def bench_pruning(repeats: int, num_properties: int, num_queries: int) -> Dict:
     queries, cost_model = pruning_workload(num_properties, num_queries)
 
@@ -134,21 +176,25 @@ def bench_pruning(repeats: int, num_properties: int, num_queries: int) -> Dict:
         pruner = ReferenceDominatedPruner(queries, OverlayCost(cost_model))
         return pruner, pruner.run(queries)
 
-    new_pruner, new_out = run_new()
     ref_pruner, ref_out = run_ref()
-    identical = (
-        new_out == ref_out
-        and new_pruner.removed == ref_pruner.removed
-        and new_pruner.forced == ref_pruner.forced
-        and new_pruner.overlay.overrides == ref_pruner.overlay.overrides
+
+    def identical(new) -> bool:
+        new_pruner, new_out = new
+        return (
+            new_out == ref_out
+            and new_pruner.removed == ref_pruner.removed
+            and new_pruner.forced == ref_pruner.forced
+            and new_pruner.overlay.overrides == ref_pruner.overlay.overrides
+        )
+
+    return workload_entry(
+        {"properties": num_properties, "queries": num_queries},
+        run_new,
+        median_seconds(run_ref, repeats),
+        repeats,
+        identical,
+        {"removed": len(ref_pruner.removed), "forced": len(ref_pruner.forced)},
     )
-    return {
-        "params": {"properties": num_properties, "queries": num_queries},
-        "identical": identical,
-        "reference_median_s": median_seconds(run_ref, repeats),
-        "bitset_median_s": median_seconds(run_new, repeats),
-        "outputs": {"removed": len(new_pruner.removed), "forced": len(new_pruner.forced)},
-    }
 
 
 def bench_mincover(repeats: int, length: int, calls: int = 10) -> Dict:
@@ -164,77 +210,90 @@ def bench_mincover(repeats: int, length: int, calls: int = 10) -> Dict:
             result = reference_min_cover(q, candidates)
         return result
 
-    new_cover = run_new()
     ref_cover = run_ref()
-    identical = (
-        new_cover.cost == ref_cover.cost
-        and new_cover.classifiers == ref_cover.classifiers
+
+    def identical(new_cover) -> bool:
+        return (
+            new_cover.cost == ref_cover.cost
+            and new_cover.classifiers == ref_cover.classifiers
+        )
+
+    return workload_entry(
+        {"query_length": length, "calls": calls},
+        run_new,
+        median_seconds(run_ref, repeats),
+        repeats,
+        identical,
+        {"cost": ref_cover.cost, "sets": len(ref_cover.classifiers)},
     )
-    return {
-        "params": {"query_length": length, "calls": calls},
-        "identical": identical,
-        "reference_median_s": median_seconds(run_ref, repeats),
-        "bitset_median_s": median_seconds(run_new, repeats),
-        "outputs": {"cost": new_cover.cost, "sets": len(new_cover.classifiers)},
-    }
 
 
 def bench_greedy(repeats: int, num_elements: int, num_sets: int) -> Dict:
     instance = wsc_workload(num_elements, num_sets)
-    new = greedy_wsc(instance)
     ref = reference_greedy_wsc(instance)
-    identical = new.set_ids == ref.set_ids and new.cost == ref.cost
-    return {
-        "params": {"elements": num_elements, "sets": num_sets},
-        "identical": identical,
-        "reference_median_s": median_seconds(
-            lambda: reference_greedy_wsc(instance), repeats
-        ),
-        "bitset_median_s": median_seconds(lambda: greedy_wsc(instance), repeats),
-        "outputs": {"cost": new.cost, "sets": len(new.set_ids)},
-    }
+
+    def identical(new) -> bool:
+        return new.set_ids == ref.set_ids and new.cost == ref.cost
+
+    return workload_entry(
+        {"elements": num_elements, "sets": num_sets},
+        lambda: greedy_wsc(instance),
+        median_seconds(lambda: reference_greedy_wsc(instance), repeats),
+        repeats,
+        identical,
+        {"cost": ref.cost, "sets": len(ref.set_ids)},
+    )
 
 
 def bench_bucket_greedy(repeats: int, num_elements: int, num_sets: int) -> Dict:
     instance = wsc_workload(num_elements, num_sets)
-    new = bucket_greedy_wsc(instance, epsilon=0.1)
     ref = reference_bucket_greedy_wsc(instance, epsilon=0.1)
-    identical = new.set_ids == ref.set_ids and new.cost == ref.cost
-    return {
-        "params": {"elements": num_elements, "sets": num_sets, "epsilon": 0.1},
-        "identical": identical,
-        "reference_median_s": median_seconds(
+
+    def identical(new) -> bool:
+        return new.set_ids == ref.set_ids and new.cost == ref.cost
+
+    return workload_entry(
+        {"elements": num_elements, "sets": num_sets, "epsilon": 0.1},
+        lambda: bucket_greedy_wsc(instance, epsilon=0.1),
+        median_seconds(
             lambda: reference_bucket_greedy_wsc(instance, epsilon=0.1), repeats
         ),
-        "bitset_median_s": median_seconds(
-            lambda: bucket_greedy_wsc(instance, epsilon=0.1), repeats
-        ),
-        "outputs": {"cost": new.cost, "sets": len(new.set_ids)},
-    }
+        repeats,
+        identical,
+        {"cost": ref.cost, "sets": len(ref.set_ids)},
+    )
 
 
 def check_solver_equivalence() -> Dict:
-    """Every registered solver: identical solution on the bench instance
-    whether it runs on the mask kernels or the patched-in references."""
+    """Every registered solver, under every available backend: identical
+    solution on the bench instance whether it runs on the mask kernels
+    or the patched-in references."""
     instance = solver_check_instance()
     kwargs = {"mc3-robust": {"redundancy": 1}}
     checked: List[str] = []
-    for name in available_solvers():
-        solver = make_solver(name, **kwargs.get(name, {}))
-        try:
+    with patch_reference_kernels():
+        patched_results = {}
+        for name in available_solvers():
+            solver = make_solver(name, **kwargs.get(name, {}))
+            try:
+                patched_results[name] = solver.solve(instance)
+            except (ReductionError, SolverError):
+                # k <= 2 specialists reject the general bench instance
+                # the same way on both code paths; nothing to compare.
+                continue
+    for backend_name in available_backends():
+        for name, patched in patched_results.items():
+            solver = make_solver(name, backend=backend_name, **kwargs.get(name, {}))
             current = solver.solve(instance)
-        except (ReductionError, SolverError):
-            # k <= 2 specialists reject the general bench instance the
-            # same way on both code paths; nothing to compare.
-            continue
-        with patch_reference_kernels():
-            patched = solver.solve(instance)
-        if (
-            current.solution.classifiers != patched.solution.classifiers
-            or current.cost != patched.cost
-        ):
-            raise AssertionError(f"solver {name!r} diverged from reference kernels")
-        checked.append(name)
+            if (
+                current.solution.classifiers != patched.solution.classifiers
+                or current.cost != patched.cost
+            ):
+                raise AssertionError(
+                    f"solver {name!r} on backend {backend_name!r} diverged "
+                    "from reference kernels"
+                )
+        checked.extend(f"{name}@{backend_name}" for name in sorted(patched_results))
     return {"checked": checked, "identical": True}
 
 
@@ -262,10 +321,11 @@ def run_all(smoke: bool = False, repeats: int = 5) -> Dict:
     }
     for name, entry in workloads.items():
         reference = entry["reference_median_s"]
-        bitset = entry["bitset_median_s"]
-        entry["speedup"] = (
-            round(reference / bitset, 2) if bitset > 0 else math.inf
-        )
+        for backend_entry in entry["backends"].values():
+            median = backend_entry["median_s"]
+            backend_entry["speedup"] = (
+                round(reference / median, 2) if median > 0 else math.inf
+            )
         if not entry["identical"]:
             raise AssertionError(f"workload {name!r} outputs diverged")
     return {
@@ -273,6 +333,7 @@ def run_all(smoke: bool = False, repeats: int = 5) -> Dict:
         "python": sys.version.split()[0],
         "mode": "smoke" if smoke else "full",
         "repeats": repeats,
+        "default_backend": resolve_backend_name(None),
         "workloads": workloads,
         "solver_equivalence": check_solver_equivalence(),
     }
@@ -290,12 +351,19 @@ def main(argv=None) -> int:
     for name, entry in results["workloads"].items():
         print(
             f"{name:20s} reference {entry['reference_median_s'] * 1e3:9.2f} ms"
-            f"  bitset {entry['bitset_median_s'] * 1e3:9.2f} ms"
-            f"  speedup {entry['speedup']:6.2f}x  identical={entry['identical']}"
+            f"  identical={entry['identical']}"
         )
+        for backend_name, backend_entry in sorted(entry["backends"].items()):
+            print(
+                f"  {backend_name:18s} {backend_entry['median_s'] * 1e3:9.2f} ms"
+                f"  speedup {backend_entry['speedup']:6.2f}x"
+                f"  identical={backend_entry['identical']}"
+            )
+    print(f"default backend: {results['default_backend']}")
     print(
         "solver equivalence: "
-        f"{len(results['solver_equivalence']['checked'])} solvers identical"
+        f"{len(results['solver_equivalence']['checked'])} "
+        "solver/backend pairs identical"
     )
     if options.save:
         with open(options.save, "w") as handle:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.kernels.registry import get_backend
 from repro.core.properties import Classifier, Query
 from repro.exceptions import UncoverableQueryError
 
@@ -44,9 +45,11 @@ class QueryCover:
 
 
 def min_cover_local(
-    full: int, usable: Sequence[Tuple[int, float]]
+    full: int,
+    usable: Sequence[Tuple[int, float]],
+    backend: Optional[str] = None,
 ) -> Optional[Tuple[float, List[int]]]:
-    """Mask-native min-cover DP.
+    """Mask-native min-cover DP (shim over the kernel layer).
 
     ``usable`` holds ``(mask, weight)`` pairs over query-local bits
     (``full`` is the all-ones target mask); the caller guarantees masks
@@ -54,52 +57,11 @@ def min_cover_local(
     ``(cost, chosen indices)`` — indices into ``usable`` in selection
     order — or ``None`` when ``full`` is unreachable.  Ties break toward
     fewer sets, then earliest ``usable`` order, exactly as the public
-    wrapper always has.
+    wrapper always has; every backend's bound-pruned DP reproduces the
+    historical exhaustive sweep bit for bit.  ``backend`` overrides the
+    active kernel backend.
     """
-    INF = math.inf
-    size = full + 1
-    dp_cost = [INF] * size
-    dp_count = [0] * size
-    back: List[Optional[Tuple[int, int]]] = [None] * size  # (prev_mask, usable_idx)
-    dp_cost[0] = 0.0
-
-    # Masks only ever grow when a set is added, so a single ascending pass
-    # over masks relaxes every useful transition exactly once.
-    for mask in range(size):
-        cost_here = dp_cost[mask]
-        if cost_here is INF:
-            continue
-        count_here = dp_count[mask]
-        for idx, (clf_mask, weight) in enumerate(usable):
-            nxt = mask | clf_mask
-            if nxt == mask:
-                continue
-            new_cost = cost_here + weight
-            # reprolint: ignore[RPL103] deliberate exact tie-break: at
-            # equal DP cost prefer fewer classifiers.  Both sides are
-            # produced by the same left-to-right accumulation over the
-            # deterministic candidate order, so equality is exact and
-            # pinned by the test_determinism tie-break suite.
-            if new_cost < dp_cost[nxt] or (
-                # reprolint: ignore[RPL103] (next line) exact equality
-                new_cost == dp_cost[nxt]  # reprolint: ignore[RPL103]
-                and count_here + 1 < dp_count[nxt]
-            ):
-                dp_cost[nxt] = new_cost
-                dp_count[nxt] = count_here + 1
-                back[nxt] = (mask, idx)
-
-    if dp_cost[full] is INF:
-        return None
-
-    chosen: List[int] = []
-    mask = full
-    while mask:
-        prev_mask, idx = back[mask]  # type: ignore[misc]
-        chosen.append(idx)
-        mask = prev_mask
-    chosen.reverse()
-    return dp_cost[full], chosen
+    return get_backend(backend).min_cover_dp(full, usable)
 
 
 def min_cover(

@@ -31,6 +31,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.instance import MC3Instance
+from repro.core.kernels.registry import resolve_backend_name
 from repro.core.solution import Solution
 from repro.engine.component import ComponentOutcome, SolvesComponents
 from repro.engine.executors import ComponentTask, run_components
@@ -66,6 +67,13 @@ class SolveEngine:
         chains, worker-crash recovery, and the ``on_error`` behavior —
         runs that degraded or skipped components return a
         :class:`~repro.engine.resilience.PartialSolution`.
+    backend:
+        Kernel-backend choice for the mask kernels (a
+        :mod:`repro.core.kernels.registry` choice string: a backend
+        name or ``"auto"``).  ``None`` (the default) uses the active
+        registry default; per-route ``backend`` overrides win for their
+        components.  Resolved once per run, so telemetry and worker
+        tasks always carry a concrete name.
     """
 
     def __init__(
@@ -74,11 +82,13 @@ class SolveEngine:
         jobs: int = 1,
         routes: Sequence[Route] = (),
         resilience: Optional[ResiliencePolicy] = None,
+        backend: Optional[str] = None,
     ):
         self.preprocess_steps = tuple(preprocess_steps)
         self.jobs = max(1, int(jobs))
         self.routes = tuple(routes)
         self.resilience = resilience
+        self.backend = backend
 
     # ------------------------------------------------------------------
 
@@ -86,11 +96,12 @@ class SolveEngine:
         self, instance: MC3Instance, component_solver: SolvesComponents
     ) -> Tuple[Solution, Dict[str, object]]:
         """Execute the full pipeline; returns (solution, details)."""
+        backend_name = resolve_backend_name(self.backend)
         prep = preprocess(instance, steps=self.preprocess_steps)
-        tasks = self._schedule(prep.components, component_solver)
+        tasks = self._schedule(prep.components, component_solver, backend_name)
 
         mode = "process-pool" if self.jobs > 1 and len(tasks) >= 2 else "sequential"
-        telemetry = EngineTelemetry(jobs=self.jobs, mode=mode)
+        telemetry = EngineTelemetry(jobs=self.jobs, mode=mode, backend=backend_name)
         telemetry.preprocess_seconds = prep.report.elapsed_seconds
 
         dispatch_started = time.perf_counter()
@@ -115,6 +126,7 @@ class SolveEngine:
                 outcome.route,
                 bitspace if isinstance(bitspace, dict) else None,
                 rung=outcome.rung,
+                backend=outcome.backend,
             )
         solution = prep.finalize(selected)
         if resilience_report is not None and not resilience_report.clean:
@@ -142,19 +154,25 @@ class SolveEngine:
         self,
         components: Iterable[MC3Instance],
         component_solver: SolvesComponents,
+        backend_name: str,
     ) -> List[ComponentTask]:
         """Assign each component to the first matching route, else the
-        default solver."""
+        default solver; every task carries its resolved kernel backend
+        (the route's override when present, else the engine's)."""
         tasks: List[ComponentTask] = []
         for index, component in enumerate(components):
             target: SolvesComponents = component_solver
             route_name: Optional[str] = None
+            task_backend = backend_name
             for route in self.routes:
                 if route.matches(component):
                     target = route
                     route_name = route.name
+                    route_backend = getattr(route, "backend", None)
+                    if route_backend is not None:
+                        task_backend = resolve_backend_name(route_backend)
                     break
-            tasks.append((index, target, component, route_name))
+            tasks.append((index, target, component, route_name, task_backend))
         return tasks
 
     @staticmethod

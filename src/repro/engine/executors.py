@@ -38,12 +38,15 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.instance import MC3Instance
+from repro.core.kernels.registry import use_backend
 from repro.core.properties import Classifier
 from repro.engine.component import ComponentOutcome, SolvesComponents
 from repro.exceptions import ReproError
 
-#: One unit of work: (component index, solver-like, component, route name).
-ComponentTask = Tuple[int, SolvesComponents, MC3Instance, Optional[str]]
+#: One unit of work: (component index, solver-like, component, route name,
+#: kernel backend name).  The backend is resolved by the scheduler, so a
+#: worker process activates the same concrete backend the parent chose.
+ComponentTask = Tuple[int, SolvesComponents, MC3Instance, Optional[str], Optional[str]]
 
 
 def pool_context():
@@ -61,12 +64,21 @@ def pool_context():
 
 def _solve_one(
     task: ComponentTask,
-) -> Tuple[int, FrozenSet[Classifier], Dict[str, object], float, int, Optional[str]]:
+) -> Tuple[
+    int,
+    FrozenSet[Classifier],
+    Dict[str, object],
+    float,
+    int,
+    Optional[str],
+    Optional[str],
+]:
     """Worker: solve one component, timed.  Module-level for pickling."""
-    index, solver, component, route = task
+    index, solver, component, route, backend = task
     started = time.perf_counter()
     try:
-        classifiers, details = solver.solve_component(component)
+        with use_backend(backend):
+            classifiers, details = solver.solve_component(component)
     except ReproError as exc:
         # Annotate in the worker, where the real traceback still exists.
         # Instance attributes survive pickling via the exception's state
@@ -77,13 +89,15 @@ def _solve_one(
         exc.worker_traceback = traceback.format_exc()
         raise
     seconds = time.perf_counter() - started
-    return index, frozenset(classifiers), details, seconds, component.n, route
+    return index, frozenset(classifiers), details, seconds, component.n, route, backend
 
 
 def _to_outcomes(rows) -> List[ComponentOutcome]:
     outcomes = [
-        ComponentOutcome(index, classifiers, details, seconds, size, route)
-        for index, classifiers, details, seconds, size, route in rows
+        ComponentOutcome(
+            index, classifiers, details, seconds, size, route, backend=backend
+        )
+        for index, classifiers, details, seconds, size, route, backend in rows
     ]
     outcomes.sort(key=lambda outcome: outcome.index)
     return outcomes

@@ -60,6 +60,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 from repro.core.bitspace import PropertySpace
 from repro.core.coverage import verify_cover
 from repro.core.instance import MC3Instance
+from repro.core.kernels.registry import use_backend
 from repro.core.mincover import min_cover_from_model
 from repro.core.properties import Classifier, Query
 from repro.core.solution import Solution
@@ -445,6 +446,7 @@ class _ChainState:
         "index",
         "component",
         "route",
+        "backend",
         "chain",
         "pos",
         "attempt",
@@ -454,7 +456,7 @@ class _ChainState:
     )
 
     def __init__(self, task: ComponentTask, policy: ResiliencePolicy):
-        self.index, primary, self.component, self.route = task
+        self.index, primary, self.component, self.route, self.backend = task
         self.chain = policy.chain_for(primary, self.route)
         self.pos = 0
         self.attempt = 0
@@ -478,7 +480,13 @@ class _ChainState:
         return self.rung
 
     def attempt_task(self, policy: ResiliencePolicy) -> ComponentTask:
-        return (self.index, self.attempt_solver(policy), self.component, self.route)
+        return (
+            self.index,
+            self.attempt_solver(policy),
+            self.component,
+            self.route,
+            self.backend,
+        )
 
     def failure(
         self,
@@ -568,7 +576,8 @@ def _exhausted_outcome(
         # the deterministic floor the degrade contract promises.
         rung = QueryOrientedRung()
         started = time.perf_counter()
-        classifiers, details = rung.solve_component(state.component)
+        with use_backend(state.backend):
+            classifiers, details = rung.solve_component(state.component)
         seconds = time.perf_counter() - started
         report.degraded.append(state.index)
         details = dict(details)
@@ -582,6 +591,7 @@ def _exhausted_outcome(
             state.route,
             rung="degraded",
             attempts=state.total_attempts,
+            backend=state.backend,
         )
     # "skip" — and "degrade" of a genuinely uncoverable component, which
     # even the last-resort rung cannot cover.
@@ -597,6 +607,7 @@ def _exhausted_outcome(
         state.route,
         rung="skipped",
         attempts=state.total_attempts,
+        backend=state.backend,
     )
 
 
@@ -618,6 +629,7 @@ def _success_outcome(
         state.route,
         rung=state.rung.name,
         attempts=state.total_attempts,
+        backend=state.backend,
     )
 
 
@@ -673,7 +685,7 @@ def _solve_chain_inprocess(
     while True:
         _sleep_until(state.not_before)
         try:
-            _, classifiers, details, seconds, _, _ = _solve_one(
+            _, classifiers, details, seconds, _, _, _ = _solve_one(
                 state.attempt_task(policy)
             )
         except (ReproError, MemoryError, RecursionError) as exc:
@@ -744,7 +756,7 @@ def _rerun_isolated(
     try:
         future = mini.submit(_solve_one, state.attempt_task(policy))
         try:
-            _, classifiers, details, seconds, _, _ = future.result(timeout=deadline)
+            _, classifiers, details, seconds, _, _, _ = future.result(timeout=deadline)
         except BrokenProcessPool:
             # The lone worker is dead, so waiting is safe — and joining
             # the manager thread here keeps its wakeup pipe from being
@@ -858,7 +870,7 @@ def _run_pool_resilient(
                 state = active.pop(future)
                 submit_times.pop(future, None)
                 try:
-                    _, classifiers, details, seconds, _, _ = future.result()
+                    _, classifiers, details, seconds, _, _, _ = future.result()
                 except BrokenProcessPool:
                     survivors.append(state)
                     continue

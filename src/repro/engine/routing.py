@@ -22,7 +22,7 @@ per-component algorithm itself lives here, below the solver layer, and
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.costs import OverlayCost
 from repro.core.instance import MC3Instance
@@ -75,19 +75,27 @@ class Route:
     satisfies the same contract as a solver's, so the executor treats
     routed and default work identically.  Routes must be picklable for
     process-pool dispatch.
+
+    ``backend`` optionally pins routed components to a specific kernel
+    backend (a :func:`repro.core.kernels.registry` choice string,
+    including ``"auto"``); ``None`` inherits the engine-level backend.
+    A route that knows its components are large can opt into the array
+    backend while small components stay on the cheaper pure-python one.
     """
 
-    __slots__ = ("name", "_predicate", "_solve")
+    __slots__ = ("name", "_predicate", "_solve", "backend")
 
     def __init__(
         self,
         name: str,
         predicate: Callable[[MC3Instance], bool],
         solve: Callable[[MC3Instance], Tuple[Set[Classifier], Dict[str, object]]],
+        backend: Optional[str] = None,
     ):
         self.name = name
         self._predicate = predicate
         self._solve = solve
+        self.backend = backend
 
     def matches(self, component: MC3Instance) -> bool:
         return self._predicate(component)
@@ -121,7 +129,9 @@ class _SolveK2Component:
 EXACT_K2_ROUTE = "exact-k2"
 
 
-def exact_k2_route(flow_algorithm: str = "dinic") -> Route:
+def exact_k2_route(
+    flow_algorithm: str = "dinic", backend: Optional[str] = None
+) -> Route:
     """The k ≤ 2 exact-dispatch rule (``dispatch_k2`` hoisted engine-level).
 
     Because the routed components are solved optimally and components
@@ -130,4 +140,9 @@ def exact_k2_route(flow_algorithm: str = "dinic") -> Route:
     Short-First's idea at the component level without its
     cross-interaction loss.
     """
-    return Route(EXACT_K2_ROUTE, _IsK2Component(), _SolveK2Component(flow_algorithm))
+    return Route(
+        EXACT_K2_ROUTE,
+        _IsK2Component(),
+        _SolveK2Component(flow_algorithm),
+        backend=backend,
+    )

@@ -40,12 +40,14 @@ class EngineTelemetry:
     __slots__ = (
         "jobs",
         "mode",
+        "backend",
         "preprocess_seconds",
         "solve_seconds",
         "merge_seconds",
         "component_sizes",
         "component_seconds",
         "routed",
+        "backends",
         "rungs",
         "resilience",
         "bitspace_properties",
@@ -53,15 +55,19 @@ class EngineTelemetry:
         "bitspace_sets",
     )
 
-    def __init__(self, jobs: int, mode: str):
+    def __init__(self, jobs: int, mode: str, backend: Optional[str] = None):
         self.jobs = jobs
         self.mode = mode
+        # Engine-level resolved kernel backend; per-route overrides show
+        # up in the per-component ``backends`` counts instead.
+        self.backend = backend
         self.preprocess_seconds = 0.0
         self.solve_seconds = 0.0
         self.merge_seconds = 0.0
         self.component_sizes: List[int] = []
         self.component_seconds: List[float] = []
         self.routed: Dict[str, int] = {}
+        self.backends: Dict[str, int] = {}
         # Fallback-chain resolution counts per rung name (resilient runs
         # only; plain runs leave this empty) and the resilience report
         # rendered by the engine when a policy was active.
@@ -81,6 +87,7 @@ class EngineTelemetry:
         route: Optional[str],
         bitspace: Optional[Dict[str, int]] = None,
         rung: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.component_sizes.append(size)
         self.component_seconds.append(seconds)
@@ -88,6 +95,8 @@ class EngineTelemetry:
             self.routed[route] = self.routed.get(route, 0) + 1
         if rung is not None:
             self.rungs[rung] = self.rungs.get(rung, 0) + 1
+        if backend is not None:
+            self.backends[backend] = self.backends.get(backend, 0) + 1
         if bitspace is not None:
             self.bitspace_properties.append(int(bitspace.get("properties", 0)))
             self.bitspace_elements.append(int(bitspace.get("elements", 0)))
@@ -113,6 +122,7 @@ class EngineTelemetry:
         rendered: Dict[str, object] = {
             "jobs": self.jobs,
             "mode": self.mode,
+            "backend": self.backend,
             "preprocess_seconds": self.preprocess_seconds,
             "solve_seconds": self.solve_seconds,
             "merge_seconds": self.merge_seconds,
@@ -120,6 +130,7 @@ class EngineTelemetry:
             "component_seconds": list(self.component_seconds),
             "component_size_histogram": size_histogram(self.component_sizes),
             "routed": dict(self.routed),
+            "backends": dict(self.backends),
             "bitspace": self.bitspace_summary(),
         }
         if self.rungs:

@@ -16,6 +16,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.core.kernels.registry import backend_choices, set_default_backend
 from repro.experiments.ablations import (
     maxflow_comparison,
     preprocessing_steps,
@@ -91,7 +92,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also append the rendered results to this file (markdown-friendly)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=backend_choices(),
+        default=None,
+        help="kernel backend for the mask hot paths (process-wide default "
+        "for every solver the experiments construct); output is "
+        "bit-identical across backends",
+    )
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        set_default_backend(args.backend)
 
     handle = open(args.output, "a", encoding="utf-8") if args.output else None
 

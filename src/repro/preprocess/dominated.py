@@ -2,336 +2,53 @@
 covering contribution is subsumed by a set of shorter classifiers of at
 most the same cost.
 
-The pass iterates classifiers by increasing length (2 … k).  For each
-classifier ``S`` it evaluates decompositions into two classifiers whose
-union is ``S`` (Algorithm 1, line 8), pricing previously removed (or
-never-available) parts by their own cheapest decomposition — the
-*effective weight* memo.  If the cheapest decomposition costs no more
-than ``W(S)``, ``S`` is removed.
-
-After a pass, queries that are left with a single irredundant cover get
-that cover *selected* (line 10), and the pass repeats for classifiers
-intersecting the selections (line 11) — selection zeroes weights, which
-can enable further removals.
-
-Internally the pass runs entirely on interned integer bitmasks (one
-:class:`~repro.core.bitspace.PropertySpace` per component): subset
-tests, the decomposition cache, and the effective-weight memo are all
-mask-keyed, so the ``O(3^len)`` inner loop does machine-word arithmetic
-instead of frozenset allocation.  The public surface — frozenset
-queries in, frozenset removals/selections out, write-through to the
-shared :class:`~repro.core.costs.OverlayCost` — is unchanged, and the
-decisions are bit-identical to the frozenset implementation
-(:mod:`repro.core.reference` keeps that claim executable).
+The implementation lives in the kernel layer
+(:mod:`repro.core.kernels`): every backend provides a pruner with the
+historical ``DominatedPruner`` surface — frozenset queries in,
+frozenset removals/selections out, write-through to the shared
+:class:`~repro.core.costs.OverlayCost` — and bit-identical decisions
+(:mod:`repro.core.reference` keeps that claim executable).  This module
+is the compatibility shim: :func:`DominatedPruner` constructs the
+active backend's pruner, and the pruning constants are re-exported for
+existing importers.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Optional, Sequence
 
-from repro.core.bitspace import MaskCost, PropertySpace, mask_union, popcount
 from repro.core.costs import OverlayCost
-from repro.core.mincover import enumerate_covers_local
-from repro.core.properties import Classifier, Query
+from repro.core.kernels.api import (  # noqa: F401  (re-exported constants)
+    FORCED_COVER_MAX_CANDIDATES,
+    FORCED_COVER_MAX_LENGTH,
+    FORCED_COVER_NODE_BUDGET,
+    FULL_ENUMERATION_MAX_LENGTH,
+    PrunesDominated,
+)
+from repro.core.kernels.registry import get_backend
+from repro.core.properties import Query
 
-#: Beyond this classifier length the ``O(3^len)`` full decomposition
-#: enumeration switches to the ``O(2^len)`` disjoint-only family (still a
-#: sound pruning rule, merely less aggressive).
-FULL_ENUMERATION_MAX_LENGTH = 7
-
-#: Forced-cover detection enumerates irredundant covers, which is
-#: exponential in the query length; skip it for longer queries.
-FORCED_COVER_MAX_LENGTH = 5
-
-#: Per-query budget for the uniqueness search; exhausting it means the
-#: query conservatively counts as having multiple covers.
-FORCED_COVER_NODE_BUDGET = 3000
-
-#: Queries with more available candidates than this skip the uniqueness
-#: test outright — a unique cover among that many candidates is
-#: vanishingly rare and the search is the expensive part.
-FORCED_COVER_MAX_CANDIDATES = 24
+__all__ = [
+    "DominatedPruner",
+    "FORCED_COVER_MAX_CANDIDATES",
+    "FORCED_COVER_MAX_LENGTH",
+    "FORCED_COVER_NODE_BUDGET",
+    "FULL_ENUMERATION_MAX_LENGTH",
+]
 
 
-class DominatedPruner:
-    """Stateful step-3 pass over one property-disjoint component."""
+def DominatedPruner(  # noqa: N802 - keeps the historical class-style name
+    queries: Sequence[Query],
+    overlay: OverlayCost,
+    max_classifier_length: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> PrunesDominated:
+    """Stateful step-3 pass over one property-disjoint component.
 
-    def __init__(
-        self,
-        queries: Sequence[Query],
-        overlay: OverlayCost,
-        max_classifier_length: Optional[int] = None,
-    ):
-        self.queries = list(queries)
-        self.overlay = overlay
-        self.max_classifier_length = max_classifier_length
-        # The component's property universe, interned once; every hot
-        # structure below is keyed by mask, not frozenset.
-        self.space = PropertySpace.from_queries(self.queries)
-        self._cost = MaskCost(self.space, overlay)
-        self._query_masks = [self.space.mask_of(q) for q in self.queries]
-        # Effective weight: cheapest way to obtain S's covering power from
-        # shorter classifiers (or S itself).
-        self._effective: Dict[int, float] = {}
-        self.removed: Set[Classifier] = set()
-        self._removed_masks: Set[int] = set()
-        self.forced: List[Classifier] = []
-        self._universe_cache: Optional[List[int]] = None
-        # Decomposition pairs per classifier never change (only their
-        # costs do), so they are materialised once and reused across the
-        # fixpoint re-passes.
-        self._decomposition_cache: Dict[int, Tuple[Tuple[int, int], ...]] = {}
-
-    # ------------------------------------------------------------------
-
-    def _universe(self) -> List[int]:
-        """All candidate classifier masks of the component, by increasing
-        length then label, deduplicated.  Computed once — removals are
-        tracked separately and never shrink this list."""
-        if self._universe_cache is None:
-            seen: Set[int] = set()
-            ordered: List[int] = []
-            for qmask in self._query_masks:
-                for mask in self.space.iter_subset_masks(
-                    qmask, self.max_classifier_length
-                ):
-                    if mask not in seen:
-                        seen.add(mask)
-                        ordered.append(mask)
-            # Stable sort by length keeps the deterministic per-query
-            # enumeration order within each length class.
-            ordered.sort(key=popcount)
-            self._universe_cache = ordered
-        return self._universe_cache
-
-    def effective_weight(self, clf: Classifier) -> float:
-        """Weight of ``clf`` or of its cheapest recorded decomposition."""
-        mask = self.space.mask_of(clf)
-        memo = self._effective.get(mask)
-        direct = self._cost.cost(mask)
-        if memo is None:
-            return direct
-        return min(memo, direct)
-
-    def _decompositions(self, mask: int) -> Tuple[Tuple[int, int], ...]:
-        cached = self._decomposition_cache.get(mask)
-        if cached is not None:
-            return cached
-        length = popcount(mask)
-        if length == 2:
-            # The only pair of proper submasks with union XY is (X, Y).
-            low = mask & -mask
-            pairs: Tuple[Tuple[int, int], ...] = ((low, mask ^ low),)
-        elif length <= FULL_ENUMERATION_MAX_LENGTH:
-            pairs = tuple(self.space.iter_two_cover_masks(mask))
-        else:
-            pairs = tuple(self.space.iter_two_partition_masks(mask))
-        self._decomposition_cache[mask] = pairs
-        return pairs
-
-    def _cheapest_decomposition(self, mask: int) -> float:
-        best = math.inf
-        memo = self._effective
-        cost = self._cost.cost
-        for part_a, part_b in self._decompositions(mask):
-            # Inlined effective_weight: min(memoised decomposition, direct).
-            weight = cost(part_a)
-            cached = memo.get(part_a)
-            if cached is not None and cached < weight:
-                weight = cached
-            direct_b = cost(part_b)
-            cached_b = memo.get(part_b)
-            if cached_b is not None and cached_b < direct_b:
-                direct_b = cached_b
-            weight += direct_b
-            if weight < best:
-                best = weight
-        return best
-
-    # ------------------------------------------------------------------
-
-    def _pass_remove(self, targets: Optional[Iterable[int]] = None) -> int:
-        """One removal sweep; returns the number of removals.
-
-        Classifiers are processed by increasing length so shorter parts'
-        effective weights are final before longer classifiers consult
-        them; within a length the order is irrelevant (decompositions use
-        strictly shorter classifiers only).
-        """
-        if targets is None:
-            universe = self._universe()
-        else:
-            universe = sorted(set(targets), key=popcount)
-        removed_count = 0
-        cost = self._cost.cost
-        effective = self._effective
-        removed_masks = self._removed_masks
-        for mask in universe:
-            length = popcount(mask)
-            if length < 2 or mask in removed_masks:
-                continue
-            if length == 2:
-                # Inlined fast path: the only decomposition is (X, Y), and
-                # singletons are never removed by this step, so their
-                # effective weight is just their overlay weight.
-                low = mask & -mask
-                decomposition_cost = cost(low) + cost(mask ^ low)
-            else:
-                decomposition_cost = self._cheapest_decomposition(mask)
-            direct = cost(mask)
-            effective[mask] = min(direct, decomposition_cost)
-            if math.isfinite(direct) and decomposition_cost <= direct:
-                self._cost.remove(mask)
-                removed_masks.add(mask)
-                self.removed.add(self.space.set_of(mask))
-                removed_count += 1
-        return removed_count
-
-    def _available_candidates(self, qmask: int) -> List[Tuple[int, float]]:
-        cost = self._cost.cost
-        pairs = []
-        for mask in self.space.iter_subset_masks(qmask, self.max_classifier_length):
-            weight = cost(mask)
-            if math.isfinite(weight):
-                pairs.append((mask, weight))
-        return pairs
-
-    def _detect_forced_covers(self, uncovered: Sequence[int]) -> List[int]:
-        """Queries with a single irredundant cover force its classifiers
-        (Algorithm 1, line 10).  Takes and returns masks."""
-        newly_forced: List[int] = []
-        for qmask in uncovered:
-            length = popcount(qmask)
-            if length > FORCED_COVER_MAX_LENGTH:
-                continue
-            if length == 2:
-                unique = self._unique_cover_k2(qmask)
-            else:
-                candidates = self._available_candidates(qmask)
-                if len(candidates) > FORCED_COVER_MAX_CANDIDATES:
-                    continue
-                unique = self._unique_cover(qmask, candidates)
-            if unique is not None:
-                for mask in unique:
-                    if self._cost.cost(mask) > 0:
-                        self._cost.select(mask)
-                        newly_forced.append(mask)
-        return newly_forced
-
-    def _unique_cover(
-        self, qmask: int, candidates: List[Tuple[int, float]]
-    ) -> Optional[Tuple[int, ...]]:
-        """Mask-level uniqueness test via the irredundant-cover search.
-
-        Candidate masks are compressed to query-local bits (ascending
-        component bits → ascending local bits) so the search order, and
-        therefore the budget-exhaustion behaviour, matches the
-        frozenset-era enumeration exactly.
-        """
-        bits = self.space.bits_of(qmask)
-        local_of = {bit: i for i, bit in enumerate(bits)}
-        full = (1 << len(bits)) - 1
-        usable: List[Tuple[int, float]] = []
-        for mask, weight in candidates:
-            local = 0
-            sub = mask
-            while sub:
-                low = sub & -sub
-                local |= 1 << local_of[low.bit_length() - 1]
-                sub ^= low
-            usable.append((local, weight))
-        covers, exhausted = enumerate_covers_local(
-            full, usable, limit=2, node_budget=FORCED_COVER_NODE_BUDGET
-        )
-        if exhausted or len(covers) != 1:
-            return None
-        picked, _cost = covers[0]
-        return tuple(candidates[idx][0] for idx in picked)
-
-    def _unique_cover_k2(self, qmask: int) -> Optional[Tuple[int, ...]]:
-        """Closed form of the uniqueness test for length-2 queries: the
-        only irredundant covers are {XY} and {X, Y}."""
-        singleton_x = qmask & -qmask
-        singleton_y = qmask ^ singleton_x
-        cost = self._cost.cost
-        pair_ok = math.isfinite(cost(qmask))
-        singles_ok = math.isfinite(cost(singleton_x)) and math.isfinite(
-            cost(singleton_y)
-        )
-        if pair_ok and not singles_ok:
-            return (qmask,)
-        if singles_ok and not pair_ok:
-            return (singleton_x, singleton_y)
-        return None
-
-    # ------------------------------------------------------------------
-
-    def run(self, uncovered: Sequence[Query]) -> Tuple[int, List[Classifier]]:
-        """Run removal + forced-cover detection to a fixpoint.
-
-        Returns ``(total removals, forced classifiers)``.  Per the paper,
-        re-passes only re-examine classifiers that intersect a selection
-        (weights only ever drop to 0 on selection), and re-detection only
-        re-examines queries touching the affected properties — the rest
-        cannot have changed.
-        """
-        space = self.space
-        uncovered_masks = [space.mask_of(q) for q in uncovered]
-        queries_by_bit: Dict[int, List[int]] = {}
-        for qmask in uncovered_masks:
-            for bit in space.bits_of(qmask):
-                queries_by_bit.setdefault(bit, []).append(qmask)
-        alive: Dict[int, None] = dict.fromkeys(uncovered_masks)
-
-        total_removed = self._pass_remove()
-        pending: Sequence[int] = list(alive)
-        while True:
-            forced_now = self._detect_forced_covers(pending)
-            if not forced_now:
-                break
-            self.forced.extend(space.set_of(mask) for mask in forced_now)
-            affected_mask = mask_union(forced_now)
-            # Queries sharing a property with the selections are the only
-            # ones whose cover options changed; of those, the ones the
-            # selections fully covered leave the game entirely.
-            affected: List[int] = []
-            seen_affected: Set[int] = set()
-            for bit in space.bits_of(affected_mask):
-                for qmask in queries_by_bit.get(bit, ()):
-                    if qmask in alive and qmask not in seen_affected:
-                        seen_affected.add(qmask)
-                        affected.append(qmask)
-            still_uncovered: List[int] = []
-            for qmask in affected:
-                if self._covered_by_selected(qmask):
-                    del alive[qmask]
-                else:
-                    still_uncovered.append(qmask)
-            # Re-examine only classifiers of still-uncovered queries:
-            # removals among covered queries' classifiers can never
-            # influence the residual problem.
-            touched: Set[int] = set()
-            for qmask in still_uncovered:
-                for mask in space.iter_subset_masks(
-                    qmask, self.max_classifier_length
-                ):
-                    if mask & affected_mask and mask not in self._removed_masks:
-                        touched.add(mask)
-                        # Invalidate memo so the zeroed selections are seen.
-                        self._effective.pop(mask, None)
-            total_removed += self._pass_remove(touched)
-            pending = still_uncovered
-        return total_removed, self.forced
-
-    def _covered_by_selected(self, qmask: int) -> bool:
-        """Whether zero-weight (selected) classifiers already cover the
-        query."""
-        remaining = qmask
-        cost = self._cost.cost
-        for mask in self.space.iter_subset_masks(qmask, self.max_classifier_length):
-            if cost(mask) == 0:
-                remaining &= ~mask
-                if not remaining:
-                    return True
-        return False
+    Factory over the kernel registry: ``backend`` picks an
+    implementation explicitly; ``None`` (the default) uses the active
+    backend (see :func:`repro.core.kernels.registry.use_backend`).
+    """
+    return get_backend(backend).make_dominated_pruner(
+        queries, overlay, max_classifier_length
+    )

@@ -1,89 +1,28 @@
 """Disk-friendly bucketed greedy for WSC [Cormode, Karloff & Wirth,
 CIKM 2010] — the efficient-greedy reference the paper cites for
-Algorithm 3's inner loop.
+Algorithm 3's inner loop.  Guarantee: ``(1+ε)(ln Δ + 1)`` times
+optimal.
 
-Instead of a priority queue over exact ratios, sets live in geometric
-*ratio buckets* ``[(1+ε)^k, (1+ε)^{k+1})``.  Buckets are processed from
-best to worst; a set whose recomputed ratio still falls in the current
-bucket is selected immediately (it is within ``(1+ε)`` of the true
-greedy choice), otherwise it migrates to its new bucket.  Each set
-moves at most ``O(log_{1+ε}(cost·Δ))`` times and accesses are strictly
-bucket-sequential — the property that made the algorithm disk-friendly
-at CIKM-scale and makes it cache-friendly here.
-
-Guarantee: ``(1+ε)(ln Δ + 1)`` times optimal.
+Shim over the kernel layer: the bucket-sequential implementation lives
+in the ``pyjit`` backend (with a batched variant in ``array``), reached
+through :mod:`repro.core.kernels.registry`.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List
+from typing import Optional
 
-from repro.exceptions import InvalidInstanceError, SolverError
+from repro.core.kernels.registry import get_backend
 from repro.setcover.instance import WSCInstance, WSCSolution
 
 
-def bucket_greedy_wsc(instance: WSCInstance, epsilon: float = 0.1) -> WSCSolution:
+def bucket_greedy_wsc(
+    instance: WSCInstance, epsilon: float = 0.1, backend: Optional[str] = None
+) -> WSCSolution:
     """Solve WSC with the bucketed greedy.
 
     ``epsilon`` trades quality for movement: larger values mean fewer
-    bucket migrations and a looser ``(1+ε)`` factor on the greedy ratio.
+    bucket migrations and a looser ``(1+ε)`` factor on the greedy
+    ratio.  ``backend`` overrides the active kernel backend.
     """
-    if epsilon <= 0:
-        raise InvalidInstanceError(f"epsilon must be > 0, got {epsilon}")
-    instance.validate_coverable()
-    base = 1.0 + epsilon
-    log_base = math.log(base)
-
-    def bucket_of(ratio: float) -> int:
-        if ratio <= 0:
-            return -(10**9)  # zero-cost sets: always the best bucket
-        return math.floor(math.log(ratio) / log_base)
-
-    universe_size = instance.universe_size
-    member_masks = instance.member_masks()
-    covered = 0
-    num_covered = 0
-    selected: List[int] = []
-    total_cost = 0.0
-
-    buckets: Dict[int, List[int]] = {}
-
-    def push(set_id: int, ratio: float) -> None:
-        key = bucket_of(ratio)
-        if key not in buckets:
-            buckets[key] = []
-        buckets[key].append(set_id)
-
-    for set_id in range(instance.num_sets):
-        size = len(instance.set_members(set_id))
-        if size == 0:
-            continue  # degenerate empty set: nothing to cover, no ratio
-        push(set_id, instance.set_cost(set_id) / size)
-
-    while num_covered < universe_size:
-        if not buckets:
-            raise SolverError("bucket greedy ran out of sets")
-        current_key = min(buckets)
-        queue = buckets.pop(current_key)
-        for set_id in queue:
-            # One masked popcount replaces the count-then-mark scans.
-            fresh_mask = member_masks[set_id] & ~covered
-            fresh = fresh_mask.bit_count()
-            if fresh == 0:
-                continue  # fully stale: drop for good
-            ratio = instance.set_cost(set_id) / fresh
-            if bucket_of(ratio) > current_key:
-                push(set_id, ratio)  # migrated to a worse bucket
-                continue
-            # Within (1+epsilon) of the best current ratio: take it.
-            selected.append(set_id)
-            total_cost += instance.set_cost(set_id)
-            covered |= fresh_mask
-            num_covered += fresh
-            if num_covered == universe_size:
-                break
-
-    solution = WSCSolution(selected, total_cost)
-    instance.verify_solution(solution)
-    return solution
+    return get_backend(backend).bucket_greedy_wsc(instance, epsilon)

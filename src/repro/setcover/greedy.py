@@ -1,72 +1,21 @@
-"""Chvátal's greedy WSC algorithm with a lazy-deletion priority queue.
+"""Chvátal's greedy WSC algorithm (``ln Δ + 1``, Theorem 2.6).
 
-At each step, select the set minimising ``cost / newly-covered``; this
-achieves the (nearly tight) ``ln Δ + 1`` approximation factor
-(Theorem 2.6).  The heap holds stale entries — an entry is trusted only
-if its recorded coverage count still matches reality, otherwise the set
-is re-keyed and pushed back.  This is the ``O(log m · Σ|s|)`` variant
-attributed to [Cormode, Karloff, Wirth 2010] in the paper.
-
-Coverage state is a single integer bitmask over element ids: the
-freshly-covered count of a set is ``popcount(members & ~covered)`` and
-marking a selection is one ``|=`` — the per-element scans of the
-original implementation (one to count, one to mark) collapse into a
-single masked popcount whose result is reused for the marking.
-Selections and tie-breaks are bit-identical to the per-element variant
-(kept as :func:`repro.core.reference.reference_greedy_wsc`).
+Shim over the kernel layer: the lazy-deletion heap implementation lives
+in the ``pyjit`` backend and a vectorized variant in ``array``, both
+reached through :mod:`repro.core.kernels.registry` and both
+bit-identical to the per-element reference
+(:func:`repro.core.reference.reference_greedy_wsc`).
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import List
+from typing import Optional
 
-from repro.exceptions import SolverError
+from repro.core.kernels.registry import get_backend
 from repro.setcover.instance import WSCInstance, WSCSolution
 
 
-def greedy_wsc(instance: WSCInstance) -> WSCSolution:
-    """Solve a WSC instance greedily; raises if some element is uncoverable."""
-    instance.validate_coverable()
-
-    universe_size = instance.universe_size
-    member_masks = instance.member_masks()
-    covered = 0
-    num_covered = 0
-    selected: List[int] = []
-    total_cost = 0.0
-
-    # uncovered_count[set_id] is maintained lazily: the authoritative value
-    # is recomputed when a heap entry is popped.  Ties on ratio resolve by
-    # lowest set_id (then recorded size) through the tuple ordering.
-    heap: List = []
-    for set_id in range(instance.num_sets):
-        size = len(instance.set_members(set_id))
-        if size == 0:
-            # Degenerate empty set: can never cover anything; skipping it
-            # here keeps the seeding total instead of dividing by zero.
-            continue
-        cost = instance.set_cost(set_id)
-        heap.append((cost / size, set_id, size))
-    heapq.heapify(heap)
-
-    while num_covered < universe_size:
-        if not heap:
-            raise SolverError("greedy ran out of sets before covering the universe")
-        ratio, set_id, recorded = heapq.heappop(heap)
-        fresh_mask = member_masks[set_id] & ~covered
-        fresh = fresh_mask.bit_count()
-        if fresh == 0:
-            continue
-        if fresh != recorded:
-            # Stale entry: re-key with the up-to-date coverage.
-            cost = instance.set_cost(set_id)
-            heapq.heappush(heap, (cost / fresh, set_id, fresh))
-            continue
-        # Entry is accurate and minimal: select the set.
-        selected.append(set_id)
-        total_cost += instance.set_cost(set_id)
-        covered |= fresh_mask
-        num_covered += fresh
-
-    return WSCSolution(selected, total_cost)
+def greedy_wsc(instance: WSCInstance, backend: Optional[str] = None) -> WSCSolution:
+    """Solve a WSC instance greedily; raises if some element is
+    uncoverable.  ``backend`` overrides the active kernel backend."""
+    return get_backend(backend).greedy_wsc(instance)

@@ -130,6 +130,12 @@ class WSCInstance:
     def set_cost(self, set_id: int) -> float:
         return self._set_costs[set_id]
 
+    def set_costs(self) -> List[float]:
+        """All set costs, indexed by set id (the backing list — do not
+        mutate).  Lets batch kernels grab every cost in one call instead
+        of ``num_sets`` :meth:`set_cost` round-trips."""
+        return self._set_costs
+
     def sets_containing(self, element_id: int) -> List[int]:
         return self._element_sets[element_id]
 

@@ -21,6 +21,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.instance import MC3Instance
+from repro.core.kernels.registry import use_backend
 from repro.core.properties import Classifier
 from repro.core.solution import Solution, SolverResult
 from repro.engine.component import ComponentOutcome
@@ -42,19 +43,29 @@ class Solver(ABC):
         Solvers built on the shared engine honour it; solvers without a
         component decomposition (the baselines) accept and ignore it, so
         harnesses can pass ``jobs=`` uniformly to any registered solver.
+    backend:
+        Kernel-backend choice for the mask kernels (a
+        :mod:`repro.core.kernels.registry` choice string: a backend name
+        or ``"auto"``).  ``None`` (the default) uses the active registry
+        default.  The choice is installed around the whole ``_solve``
+        call, so baselines and engine-based solvers honour it alike.
     """
 
     #: Short identifier used by the registry and experiment reports.
     name: str = "solver"
 
-    def __init__(self, verify: bool = True, jobs: int = 1):
+    def __init__(
+        self, verify: bool = True, jobs: int = 1, backend: Optional[str] = None
+    ):
         self.verify = verify
         self.jobs = max(1, int(jobs))
+        self.backend = backend
 
     def solve(self, instance: MC3Instance) -> SolverResult:
         """Solve the instance; timed and (optionally) verified."""
         started = time.perf_counter()
-        solution, details = self._solve(instance)
+        with use_backend(self.backend):
+            solution, details = self._solve(instance)
         elapsed = time.perf_counter() - started
         if self.verify:
             solution.verify(instance)
@@ -89,8 +100,9 @@ class ComponentSolver(Solver):
         jobs: int = 1,
         verify: bool = True,
         resilience: Optional[ResiliencePolicy] = None,
+        backend: Optional[str] = None,
     ):
-        super().__init__(verify=verify, jobs=jobs)
+        super().__init__(verify=verify, jobs=jobs, backend=backend)
         self.preprocess_steps = tuple(preprocess_steps)
         self.resilience = resilience
 
@@ -128,5 +140,6 @@ class ComponentSolver(Solver):
             jobs=self.jobs,
             routes=self.routes(),
             resilience=self.resilience,
+            backend=self.backend,
         )
         return engine.run(instance, self)

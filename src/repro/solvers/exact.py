@@ -42,12 +42,14 @@ class ExactSolver(ComponentSolver):
         jobs: int = 1,
         verify: bool = True,
         resilience: Optional[ResiliencePolicy] = None,
+        backend: Optional[str] = None,
     ):
         super().__init__(
             preprocess_steps=preprocess_steps,
             jobs=jobs,
             verify=verify,
             resilience=resilience,
+            backend=backend,
         )
         if engine not in ("combinatorial", "lp"):
             raise SolverError(f"unknown exact engine {engine!r}")

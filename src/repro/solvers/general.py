@@ -82,12 +82,14 @@ class GeneralSolver(ComponentSolver):
         jobs: int = 1,
         verify: bool = True,
         resilience: Optional[ResiliencePolicy] = None,
+        backend: Optional[str] = None,
     ):
         super().__init__(
             preprocess_steps=preprocess_steps,
             jobs=jobs,
             verify=verify,
             resilience=resilience,
+            backend=backend,
         )
         self.wsc_method = wsc_method
         self.lp_size_limit = lp_size_limit

@@ -52,12 +52,14 @@ class K2Solver(ComponentSolver):
         jobs: int = 1,
         verify: bool = True,
         resilience: Optional[ResiliencePolicy] = None,
+        backend: Optional[str] = None,
     ):
         super().__init__(
             preprocess_steps=preprocess_steps,
             jobs=jobs,
             verify=verify,
             resilience=resilience,
+            backend=backend,
         )
         self.flow_algorithm = flow_algorithm
 

@@ -21,7 +21,7 @@ output, rather than refining per component.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.costs import OverlayCost
 from repro.core.instance import MC3Instance
@@ -135,9 +135,10 @@ class RefinedSolver(Solver):
         dispatch_k2: bool = False,
         jobs: int = 1,
         verify: bool = True,
+        backend: Optional[str] = None,
         **general_kwargs,
     ):
-        super().__init__(verify=verify, jobs=jobs)
+        super().__init__(verify=verify, jobs=jobs, backend=backend)
         self.max_rounds = max_rounds
         self.preprocess_steps = tuple(preprocess_steps)
         self.dispatch_k2 = dispatch_k2
@@ -146,6 +147,7 @@ class RefinedSolver(Solver):
             dispatch_k2=dispatch_k2,
             jobs=jobs,
             verify=False,
+            backend=backend,
             **general_kwargs,
         )
 

@@ -60,12 +60,14 @@ class RobustSolver(ComponentSolver):
         jobs: int = 1,
         verify: bool = True,
         resilience: Optional[ResiliencePolicy] = None,
+        backend: Optional[str] = None,
     ):
         super().__init__(
             preprocess_steps=preprocess_steps,
             jobs=jobs,
             verify=verify,
             resilience=resilience,
+            backend=backend,
         )
         if redundancy < 1:
             raise SolverError("redundancy must be >= 1")

@@ -46,8 +46,9 @@ class ShortFirstSolver(Solver):
         jobs: int = 1,
         verify: bool = True,
         resilience: Optional[ResiliencePolicy] = None,
+        backend: Optional[str] = None,
     ):
-        super().__init__(verify=verify, jobs=jobs)
+        super().__init__(verify=verify, jobs=jobs, backend=backend)
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
         self.threshold = threshold
@@ -70,6 +71,7 @@ class ShortFirstSolver(Solver):
                 jobs=self.jobs,
                 verify=False,  # the combined solution is verified once
                 resilience=self.resilience,
+                backend=self.backend,
             )
             short_result = k2.solve(short)
             selected |= short_result.solution.classifiers
@@ -91,6 +93,7 @@ class ShortFirstSolver(Solver):
                 jobs=self.jobs,
                 verify=False,
                 resilience=self.resilience,
+                backend=self.backend,
             )
             long_result = general.solve(residual)
             selected |= long_result.solution.classifiers

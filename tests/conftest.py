@@ -52,8 +52,13 @@ def random_instance(
         length = rng.randint(1, max_length)
         queries.add(frozenset(rng.sample(props, length)))
         attempts += 1
+    # Iterate queries in sorted order: set order depends on the process
+    # hash seed, and it drives both the rng draw sequence (costs) and
+    # the instance's query order — a given `seed` must name the same
+    # instance in every process.
+    ordered = sorted(queries, key=sorted)
     costs: Dict[Classifier, float] = {}
-    for q in queries:
+    for q in ordered:
         for clf in iter_nonempty_subsets(q):
             if clf not in costs:
                 costs[clf] = rng.randint(*cost_range)
@@ -62,7 +67,7 @@ def random_instance(
             # Singletons stay to preserve coverability.
             if len(clf) > 1 and rng.random() < missing_fraction:
                 del costs[clf]
-    return MC3Instance(list(queries), TableCost(costs), name=f"rand{seed}")
+    return MC3Instance(ordered, TableCost(costs), name=f"rand{seed}")
 
 
 def brute_force_optimum(instance: MC3Instance, max_universe: int = 16) -> float:

@@ -43,15 +43,15 @@ class TestSolverRelations:
     @given(SEEDS)
     @settings(max_examples=20, deadline=None)
     def test_query_oriented_upper_bounds_general(self, seed):
-        """QO is a feasible solution Algorithm 3's greedy can always
-        reconstruct set-by-set, so best-of can never exceed ... actually
-        greedy may diverge; the robust relation is vs. the baselines'
-        minimum times the guarantee.  We assert the direct practical
-        relation observed to hold: general <= QO on these instances."""
+        """QO is feasible, so QO >= OPT, and Algorithm 3 stays within
+        the instance guarantee of OPT — hence general <= guarantee * QO.
+        (The tighter `general <= QO` is *not* a theorem: greedy/LP can
+        diverge from the per-query composition, and seeds exist where
+        general exceeds QO outright.)"""
         instance = random_instance(seed, num_properties=6, num_queries=5, max_length=3)
         general = make_solver("mc3-general").solve(instance).cost
         qo = make_solver("query-oriented").solve(instance).cost
-        assert general <= qo + 1e-9
+        assert general <= instance_guarantee(instance) * qo + 1e-6
 
     @given(SEEDS)
     @settings(max_examples=20, deadline=None)

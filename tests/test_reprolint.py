@@ -144,6 +144,21 @@ PAIRED_FIXTURES = {
             return greedy_wsc(instance)
         """,
     ),
+    "RPL203": (
+        "src/repro/solvers/fastpath.py",
+        """
+        from repro.core.kernels.pyjit import greedy_wsc
+
+        def solve(instance):
+            return greedy_wsc(instance)
+        """,
+        """
+        from repro.core.kernels import get_backend
+
+        def solve(instance):
+            return get_backend().greedy_wsc(instance)
+        """,
+    ),
     "RPL301": (
         "src/repro/solvers/structural.py",
         """
