@@ -18,6 +18,7 @@ bench:
 bench-save:
 	$(PYTHON) benchmarks/bench_bitspace.py --save BENCH_core.json
 	$(PYTHON) benchmarks/bench_resilience_overhead.py --save BENCH_resilience.json
+	$(PYTHON) benchmarks/bench_cache.py --save BENCH_cache.json
 
 experiments:
 	$(PYTHON) -m repro.experiments all

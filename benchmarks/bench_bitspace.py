@@ -330,6 +330,7 @@ def run_all(smoke: bool = False, repeats: int = 5) -> Dict:
             raise AssertionError(f"workload {name!r} outputs diverged")
     return {
         "benchmark": "bitspace",
+        "schema": 2,
         "python": sys.version.split()[0],
         "mode": "smoke" if smoke else "full",
         "repeats": repeats,

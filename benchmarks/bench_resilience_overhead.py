@@ -38,6 +38,7 @@ sys.path.insert(
 )
 
 from repro.core import MC3Instance, TableCost  # noqa: E402
+from repro.core.kernels.registry import resolve_backend_name  # noqa: E402
 from repro.core.properties import iter_nonempty_subsets  # noqa: E402
 from repro.engine import ResiliencePolicy  # noqa: E402
 from repro.solvers import make_solver  # noqa: E402
@@ -156,6 +157,12 @@ def run_all(blocks: int = BLOCKS, repeats: int = REPEATS) -> Dict[str, object]:
         f"{OVERHEAD_LIMIT:.0%} on the engine-parallel workload"
     )
     return {
+        "benchmark": "resilience_overhead",
+        "schema": 2,
+        "python": sys.version.split()[0],
+        "mode": "smoke" if blocks < BLOCKS else "full",
+        "repeats": repeats,
+        "default_backend": resolve_backend_name(None),
         "workload": {
             "blocks": blocks,
             "queries_per_block": QUERIES_PER_BLOCK,

@@ -44,6 +44,24 @@ def _resilience_policy(args: argparse.Namespace):
     )
 
 
+def _cache_spec(args: argparse.Namespace):
+    """Build a :class:`~repro.engine.cache.CacheConfig` from the CLI
+    flags, or ``None`` when every cache flag is at its default (the
+    process default — ``REPRO_SOLUTION_CACHE`` — then applies)."""
+    choice = getattr(args, "cache", None)
+    directory = getattr(args, "cache_dir", None)
+    max_mb = getattr(args, "cache_max_mb", None)
+    if choice is None and directory is None and max_mb is None:
+        return None
+    from repro.engine.cache import CacheConfig
+
+    return CacheConfig(
+        backend=choice or ("disk" if directory is not None else "memory"),
+        directory=directory,
+        max_mb=max_mb,
+    )
+
+
 def _solver_kwargs(args: argparse.Namespace) -> dict:
     """Engine-level solver options shared by the solve/plan/compare
     subcommands.  Only non-default values are forwarded, so solvers that
@@ -59,6 +77,9 @@ def _solver_kwargs(args: argparse.Namespace) -> dict:
     policy = _resilience_policy(args)
     if policy is not None:
         kwargs["resilience"] = policy
+    spec = _cache_spec(args)
+    if spec is not None:
+        kwargs["cache"] = spec
     return kwargs
 
 
@@ -88,6 +109,35 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "(array when available). Default: the REPRO_KERNEL_BACKEND "
         "environment variable, else pyjit. Output is bit-identical "
         "across backends",
+    )
+    from repro.engine.cache import CACHE_ENV_VAR, cache_choices
+
+    parser.add_argument(
+        "--cache",
+        choices=cache_choices(),
+        default=None,
+        help="component-solution cache: off, memory (in-process LRU), or "
+        "disk (content-addressed store, shared across runs). Default: "
+        f"the {CACHE_ENV_VAR} environment variable, else off. Cached "
+        "answers are bit-identical to uncached solves",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the disk cache (default: "
+        "REPRO_SOLUTION_CACHE_DIR, else ~/.cache/mc3/solutions); "
+        "implies --cache disk when --cache is not given",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        dest="cache_max_mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="cache size budget in megabytes (default 64); least-recently"
+        "-used (memory) / oldest (disk) entries are evicted beyond it",
     )
     from repro.engine.resilience import FALLBACK_RUNGS, ON_ERROR_POLICIES
 
@@ -136,6 +186,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"cost     : {result.cost:g}")
     print(f"selected : {len(result.solution)} classifiers")
     print(f"time     : {result.elapsed_seconds:.3f}s")
+    engine_details = result.details.get("engine")
+    if isinstance(engine_details, dict) and "cache" in engine_details:
+        cache_stats = engine_details["cache"]
+        print(
+            f"cache    : {cache_stats['kind']} — {cache_stats['hits']} hit(s), "
+            f"{cache_stats['misses']} miss(es), {cache_stats['inserts']} "
+            f"insert(s) ({cache_stats['hit_rate']:.0%} hit rate)"
+        )
     from repro.engine import PartialSolution
 
     if isinstance(result.solution, PartialSolution):
@@ -297,6 +355,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the on-disk component-solution cache."""
+    from repro.engine.cache import DiskSolutionCache, default_cache_dir
+
+    directory = args.cache_dir or default_cache_dir()
+    store = DiskSolutionCache(directory)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"directory : {directory}")
+        print(f"entries   : {stats['entries']}")
+        print(f"bytes     : {stats['bytes']}")
+        print(f"max bytes : {stats['max_bytes']}")
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {directory}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="mc3", description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -372,6 +448,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_engine_flags(compare)
     compare.set_defaults(fn=_cmd_compare)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk component-solution cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: REPRO_SOLUTION_CACHE_DIR, else "
+        "~/.cache/mc3/solutions)",
+    )
+    cache.set_defaults(fn=_cmd_cache)
 
     solvers = sub.add_parser("solvers", help="list registered solvers")
     solvers.set_defaults(fn=lambda a: (print("\n".join(available_solvers())), 0)[1])

@@ -25,7 +25,9 @@ their frozenset counterparts exactly, keeping outputs bit-identical.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import struct
 from itertools import combinations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -229,6 +231,139 @@ class MaskCost:
     def stats(self) -> Dict[str, int]:
         """Cache footprint, for telemetry."""
         return {"properties": self.space.size, "cached_costs": len(self._cache)}
+
+
+# ----------------------------------------------------------------------
+# Content-addressed component fingerprints
+# ----------------------------------------------------------------------
+
+#: Bumped whenever the fingerprint's byte layout changes, so stale
+#: on-disk cache entries can never be confused with current ones.
+#: v2: cost content is fed as either a model content-token or the
+#: enumerated per-candidate prices (domain-separated).
+FINGERPRINT_VERSION = 2
+
+#: The rung slot cache lookups pin: cached entries always hold the
+#: *primary* solver's answer (fallback/degraded outputs are never
+#: inserted, see :mod:`repro.engine.cache`).
+PRIMARY_RUNG = "primary"
+
+
+def _feed_bytes(digest, data: bytes) -> None:
+    """Length-prefixed update — unambiguous concatenation."""
+    digest.update(len(data).to_bytes(4, "little"))
+    digest.update(data)
+
+
+def _feed_text(digest, text: str) -> None:
+    _feed_bytes(digest, text.encode("utf-8"))
+
+
+def _feed_mask(digest, mask: int) -> None:
+    """Masks may exceed one machine word; encode as little-endian bytes."""
+    width = (mask.bit_length() + 7) // 8 or 1
+    _feed_bytes(digest, mask.to_bytes(width, "little"))
+
+
+def _feed_float(digest, value: float) -> None:
+    """Exact IEEE-754 bits — no string rounding, ``inf`` included."""
+    digest.update(struct.pack("<d", value))
+
+
+def _feed_knob(digest, part: object) -> None:
+    """Type-tagged scalar encoding for solver/route knob tokens, so
+    ``1`` and ``"1"`` (or ``None`` and ``"None"``) can never collide."""
+    if part is None:
+        _feed_text(digest, "n:")
+    elif isinstance(part, bool):
+        _feed_text(digest, f"b:{int(part)}")
+    elif isinstance(part, int):
+        _feed_text(digest, f"i:{part}")
+    elif isinstance(part, float):
+        _feed_text(digest, "f:")
+        _feed_float(digest, part)
+    else:
+        _feed_text(digest, f"s:{part}")
+
+
+def component_fingerprint(
+    component,
+    solver_token: Sequence[object] = (),
+    route: Optional[str] = None,
+    backend: Optional[str] = None,
+    rung: str = PRIMARY_RUNG,
+) -> str:
+    """Canonical content hash of one property-disjoint component.
+
+    Two components receive the same fingerprint **iff** a deterministic
+    solver must produce the same answer for both: the hash covers the
+    interned property grid (sorted names — the
+    :class:`PropertySpace` invariant makes this canonical), the query
+    masks (sorted, so input order cannot leak in), the pricing content,
+    and every output-affecting knob: the solver's cache token, the
+    engine route, the kernel backend, and the resilience rung slot.
+
+    Pricing is captured one of two domain-separated ways.  When the
+    component's cost chain advertises a
+    :meth:`~repro.core.costs.CostModel.content_token` (tables, overlays,
+    every shipped model except opaque callables), that digest is fed
+    directly — it is cached on the model, so a 250-component run pays
+    for it once.  Otherwise every candidate classifier the solvers may
+    consider (all submasks of the queries up to
+    ``max_classifier_length``) is priced through ``component.weight``
+    so overlay select/remove state is captured exactly, floats encoded
+    bit-for-bit.
+
+    ``component`` needs only ``queries``, ``weight`` and
+    ``max_classifier_length`` (the :class:`~repro.core.instance.MC3Instance`
+    surface).  Nothing hash-seed-dependent is consumed: no ``hash()``,
+    no ``id()``, no ``repr()`` of unordered containers, no unsorted
+    set/dict iteration (reprolint RPL204 enforces this).
+    """
+    space = PropertySpace.from_queries(component.queries)
+    digest = hashlib.blake2b(digest_size=20)
+    _feed_text(digest, f"mc3-component-fingerprint/v{FINGERPRINT_VERSION}")
+
+    _feed_text(digest, str(len(space.properties)))
+    for name in space.properties:  # already sorted by the interning
+        _feed_text(digest, name)
+
+    qmasks = sorted({space.mask_of(q) for q in component.queries})
+    _feed_text(digest, str(len(qmasks)))
+    for qmask in qmasks:
+        _feed_mask(digest, qmask)
+
+    cap = component.max_classifier_length
+    _feed_knob(digest, cap)
+    cost_token = None
+    token_of = getattr(component, "cost_content_token", None)
+    if token_of is not None:
+        cost_token = token_of()
+    if cost_token is not None:
+        # Content-token fast path: the cost chain digests its own
+        # pricing (cached across components and runs), so candidates
+        # need not be priced one by one.  Domain-separated from the
+        # enumerated path — the two encodings can never collide.
+        _feed_text(digest, "costs:token")
+        _feed_bytes(digest, cost_token)
+    else:
+        _feed_text(digest, "costs:enumerated")
+        seen_masks = set()
+        for qmask in qmasks:
+            for sub in space.iter_subset_masks(qmask, cap):
+                if sub in seen_masks:
+                    continue
+                seen_masks.add(sub)
+                _feed_mask(digest, sub)
+                _feed_float(digest, component.weight(space.set_of(sub)))
+
+    _feed_text(digest, str(len(tuple(solver_token))))
+    for part in tuple(solver_token):
+        _feed_knob(digest, part)
+    _feed_knob(digest, route)
+    _feed_knob(digest, backend)
+    _feed_knob(digest, rung)
+    return digest.hexdigest()
 
 
 def compress_masks(qmask: int, masks: Sequence[int]) -> Tuple[int, List[int]]:

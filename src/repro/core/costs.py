@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import struct
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Iterable, Mapping, Optional
 
@@ -74,12 +75,38 @@ def parse_classifier_key(key: object) -> Classifier:
     return clf
 
 
+def _weight_bytes(value: float) -> bytes:
+    """Exact IEEE-754 bits; no string rounding, ``inf`` included."""
+    return struct.pack("<d", float(value))
+
+
+def _token_digest(*parts: bytes) -> bytes:
+    """Length-prefixed digest of token parts — unambiguous concatenation."""
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        digest.update(len(part).to_bytes(4, "little"))
+        digest.update(part)
+    return digest.digest()
+
+
 class CostModel(ABC):
     """Abstract weighting function over classifiers."""
 
     @abstractmethod
     def cost(self, clf: Classifier) -> float:
         """Return ``W(clf)``; ``math.inf`` means the classifier is unavailable."""
+
+    def content_token(self) -> Optional[bytes]:
+        """Canonical digest of this model's pricing content, or ``None``.
+
+        The component-solution cache (:mod:`repro.engine.cache`) keys
+        entries by content: two models with equal tokens must price
+        *every* classifier identically, in every process, regardless of
+        ``PYTHONHASHSEED``.  Models whose content cannot be enumerated
+        (opaque callables) return ``None``; the fingerprint then falls
+        back to pricing each candidate classifier individually.
+        """
+        return None
 
     def is_finite(self, clf: Classifier) -> bool:
         """Whether the classifier participates in the input (finite weight)."""
@@ -108,9 +135,24 @@ class TableCost(CostModel):
             clf = parse_classifier_key(key)
             self._table[clf] = validate_weight(weight, clf)
         self.default = validate_weight(default) if math.isfinite(default) else float(default)
+        self._token: Optional[bytes] = None
 
     def cost(self, clf: Classifier) -> float:
         return self._table.get(clf, self.default)
+
+    def content_token(self) -> Optional[bytes]:
+        # The table never mutates after construction (``copy()`` builds a
+        # new model), so the digest is computed once.  Entries are fed in
+        # canonical-label order — insertion history must not leak in.
+        if self._token is None:
+            parts = [b"table", _weight_bytes(self.default)]
+            for label, weight in sorted(
+                (canonical_label(clf), weight) for clf, weight in self._table.items()
+            ):
+                parts.append(label.encode("utf-8"))
+                parts.append(_weight_bytes(weight))
+            self._token = _token_digest(*parts)
+        return self._token
 
     def __len__(self) -> int:
         return len(self._table)
@@ -140,9 +182,18 @@ class UniformCost(CostModel):
             return INFINITY
         return self.value
 
+    def content_token(self) -> Optional[bytes]:
+        return _token_digest(
+            b"uniform", _weight_bytes(self.value), str(self.max_length).encode()
+        )
+
 
 class CallableCost(CostModel):
-    """Adapt an arbitrary ``Classifier -> float`` function to a cost model."""
+    """Adapt an arbitrary ``Classifier -> float`` function to a cost model.
+
+    Opaque by construction: :meth:`content_token` stays ``None`` (the
+    base default), so cache fingerprints price candidates individually.
+    """
 
     def __init__(self, fn: Callable[[Classifier], float]):
         self._fn = fn
@@ -193,6 +244,12 @@ class HashCost(CostModel):
         span = self.high - self.low + 1
         return float(self.low + draw % span)
 
+    def content_token(self) -> Optional[bytes]:
+        return _token_digest(
+            b"hash",
+            str((self.low, self.high, self.seed, self.max_length)).encode(),
+        )
+
 
 class ZeroedCost(CostModel):
     """Grant cost 0 to classifiers composed entirely of known properties.
@@ -212,6 +269,14 @@ class ZeroedCost(CostModel):
             return 0.0
         return self.base.cost(clf)
 
+    def content_token(self) -> Optional[bytes]:
+        base = self.base.content_token()
+        if base is None:
+            return None
+        return _token_digest(
+            b"zeroed", base, canonical_label(self.free_properties).encode()
+        )
+
 
 class LengthCappedCost(CostModel):
     """Bounded classifiers (Section 5.3): length ``> k'`` priced at ``∞``."""
@@ -227,6 +292,12 @@ class LengthCappedCost(CostModel):
             return INFINITY
         return self.base.cost(clf)
 
+    def content_token(self) -> Optional[bytes]:
+        base = self.base.content_token()
+        if base is None:
+            return None
+        return _token_digest(b"capped", base, str(self.max_length).encode())
+
 
 class OverlayCost(CostModel):
     """A cost model with mutable per-classifier overrides.
@@ -239,6 +310,7 @@ class OverlayCost(CostModel):
     def __init__(self, base: CostModel, overrides: Optional[Dict[Classifier, float]] = None):
         self.base = base
         self.overrides: Dict[Classifier, float] = dict(overrides or {})
+        self._token: Optional[bytes] = None
 
     def cost(self, clf: Classifier) -> float:
         if clf in self.overrides:
@@ -248,10 +320,30 @@ class OverlayCost(CostModel):
     def select(self, clf: Classifier) -> None:
         """Mark ``clf`` as already built (weight 0)."""
         self.overrides[clf] = 0.0
+        self._token = None
 
     def remove(self, clf: Classifier) -> None:
         """Mark ``clf`` as unavailable (weight ``∞``)."""
         self.overrides[clf] = INFINITY
+        self._token = None
 
     def is_removed(self, clf: Classifier) -> bool:
         return self.overrides.get(clf) == INFINITY
+
+    def content_token(self) -> Optional[bytes]:
+        # Cached between mutations: preprocessing batches all of its
+        # select/remove edits before any fingerprint runs, so every
+        # component of a run shares one digest.  Mutate overrides only
+        # through select/remove — a direct dict write would go unseen.
+        base = self.base.content_token()
+        if base is None:
+            return None
+        if self._token is None:
+            parts = [b"overlay", base]
+            for label, weight in sorted(
+                (canonical_label(clf), weight) for clf, weight in self.overrides.items()
+            ):
+                parts.append(label.encode("utf-8"))
+                parts.append(_weight_bytes(weight))
+            self._token = _token_digest(*parts)
+        return self._token

@@ -117,6 +117,20 @@ class MC3Instance:
             return math.inf
         return self._cost.cost(clf)
 
+    def cost_content_token(self):
+        """Canonical digest of this instance's pricing content, or ``None``.
+
+        Combines the cost model's :meth:`~repro.core.costs.CostModel.content_token`
+        with the instance-level length cap (which :meth:`weight` applies
+        on top of the model) — everything :func:`~repro.core.bitspace.component_fingerprint`
+        needs to skip pricing candidates one by one.  ``None`` when the
+        model is opaque (e.g. :class:`~repro.core.costs.CallableCost`).
+        """
+        token = self._cost.content_token()
+        if token is None:
+            return None
+        return token + str(self.max_classifier_length).encode("utf-8")
+
     def total_weight(self, classifiers: Iterable[Classifier]) -> float:
         """``W(S)`` — the sum of individual classifier weights."""
         return sum(self.weight(clf) for clf in classifiers)

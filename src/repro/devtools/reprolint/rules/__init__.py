@@ -5,12 +5,14 @@ Rule id taxonomy:
 * ``RPL1xx`` — determinism (set iteration, nondeterministic reads,
   float tie-break equality);
 * ``RPL2xx`` — mask/kernel boundary (frozenset ops in mask modules,
-  reference-oracle imports);
+  reference-oracle imports) and cache-key hygiene (hash-seed-dependent
+  key material);
 * ``RPL3xx`` — solver contract (engine bypass, registry coverage);
 * ``RPL4xx`` — hygiene (mutable defaults, bare except).
 """
 
 from repro.devtools.reprolint.rules import (  # noqa: F401  (registration side effect)
+    cache,
     determinism,
     hygiene,
     masks,

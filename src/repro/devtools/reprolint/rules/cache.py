@@ -1,0 +1,136 @@
+"""Cache-key rules (RPL2xx, continued).
+
+PR 7 made component solutions content-addressed: a fingerprint hit must
+be provably the same answer a fresh solve would produce, across
+processes, machines, and ``PYTHONHASHSEED`` values.  That contract dies
+quietly if any hash-seed- or address-dependent material leaks into the
+key or the entry bytes — every lookup becomes a miss (the cache "works"
+but never hits across processes), or two distinct components collide.
+This rule makes the known leaks machine-checked in the two modules that
+produce key material.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.devtools.reprolint.model import SourceModule, Violation
+from repro.devtools.reprolint.registry import Rule, register
+from repro.devtools.reprolint.scopes import in_cache_key_scope
+
+# ----------------------------------------------------------------------
+# RPL204 — hash-seed-dependent material in cache-key modules
+# ----------------------------------------------------------------------
+
+#: Builtins whose value differs between processes for equal inputs.
+_PROCESS_DEPENDENT_BUILTINS = {
+    "hash": "hash() is salted by PYTHONHASHSEED for str/bytes",
+    "id": "id() is a memory address, unique to one process",
+}
+
+#: repr()/str() of these expressions embeds set/dict iteration order.
+_UNORDERED_LITERALS = (ast.Set, ast.SetComp, ast.Dict, ast.DictComp)
+_UNORDERED_CONSTRUCTORS = {"set", "frozenset", "dict"}
+
+#: Dict views whose iteration order is insertion history, not content.
+_DICT_VIEW_METHODS = {"values", "items"}
+
+
+def _unordered_container(node: ast.AST) -> bool:
+    if isinstance(node, _UNORDERED_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _UNORDERED_CONSTRUCTORS
+    )
+
+
+def _dict_view_call(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _DICT_VIEW_METHODS
+        and not node.args
+        and not node.keywords
+    ):
+        return node.func.attr
+    return None
+
+
+@register
+class CacheKeyMaterialRule(Rule):
+    rule_id = "RPL204"
+    name = "hash-seed-in-cache-key"
+    summary = (
+        "no hash()/id(), repr() of unordered containers, or unsorted "
+        "dict-view iteration in the cache-key modules"
+    )
+    rationale = (
+        "component_fingerprint and the cache entry codec promise that "
+        "equal content produces equal bytes in every process.  hash() "
+        "is salted by PYTHONHASHSEED, id() is a memory address, and "
+        "repr()/iteration of sets and dict views exposes insertion or "
+        "hash order — any of these in core/bitspace.py or "
+        "engine/cache.py can split one logical key across processes "
+        "(permanent misses) or collide two distinct components.  Feed "
+        "digests explicit canonical bytes and wrap dict-view iteration "
+        "in sorted()."
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return in_cache_key_scope(module.scope_key)
+
+    def check(self, module: SourceModule) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                reason = _PROCESS_DEPENDENT_BUILTINS.get(func.id)
+                if reason is not None:
+                    yield module.violation(
+                        self,
+                        node,
+                        f"{func.id}() call in a cache-key module: {reason}; "
+                        "derive key material from explicit canonical bytes",
+                    )
+                elif func.id in ("repr", "ascii") and any(
+                    _unordered_container(arg) for arg in node.args
+                ):
+                    yield module.violation(
+                        self,
+                        node,
+                        f"{func.id}() of an unordered container embeds "
+                        "iteration order in cache-key material; render "
+                        "elements in sorted() order instead",
+                    )
+        for iterable, context in _iteration_sites(module.tree):
+            view = _dict_view_call(iterable)
+            if view is not None:
+                yield module.violation(
+                    self,
+                    iterable,
+                    f"iteration over dict.{view}() in a {context} inside a "
+                    "cache-key module; wrap in sorted() so the order is "
+                    "content, not insertion history",
+                )
+
+
+def _iteration_sites(tree: ast.Module):
+    """(iterable-expression, context) pairs, everywhere in the module.
+
+    Unlike RPL101's scope-aware walker this is deliberately blunt: in
+    the two cache-key modules *no* dict-view iteration may rely on
+    insertion order, because the reader cannot tell key material from
+    bookkeeping at a glance — sorted() documents the intent either way.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, "for loop"
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for generator in node.generators:
+                yield generator.iter, "comprehension"

@@ -91,6 +91,21 @@ def in_kernels_package(scope_key: str) -> bool:
     return rel is not None and rel.startswith("core/kernels/")
 
 
+#: Modules that produce cache-key material (RPL204): the component
+#: fingerprint and the solution-cache entry codec.  Anything
+#: hash-seed- or address-dependent there silently splits one logical
+#: key into many, which turns every lookup into a miss (or worse,
+#: collides two distinct components).
+CACHE_KEY_MODULES = (
+    "core/bitspace.py",
+    "engine/cache.py",
+)
+
+
+def in_cache_key_scope(scope_key: str) -> bool:
+    return repro_relative(scope_key) in CACHE_KEY_MODULES
+
+
 def in_resilience_scope(scope_key: str) -> bool:
     """The fault-handling perimeter (RPL404): the engine package plus
     the chaos harness — the modules whose ``except`` clauses decide

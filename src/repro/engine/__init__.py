@@ -11,6 +11,16 @@ fault-tolerant execution layer (budgets, fallback chains, worker-crash
 recovery, partial solutions).
 """
 
+from repro.engine.cache import (
+    CacheConfig,
+    DiskSolutionCache,
+    MemorySolutionCache,
+    SolutionCache,
+    cache_choices,
+    default_cache_dir,
+    resolve_cache,
+    set_default_cache,
+)
 from repro.engine.component import ComponentOutcome, SolvesComponents
 from repro.engine.engine import SolveEngine
 from repro.engine.executors import pool_context, run_components
@@ -32,22 +42,30 @@ from repro.engine.routing import (
 from repro.engine.telemetry import EngineTelemetry, size_histogram
 
 __all__ = [
+    "CacheConfig",
     "ComponentFailure",
     "ComponentOutcome",
+    "DiskSolutionCache",
     "EXACT_K2_ROUTE",
     "EngineTelemetry",
     "FALLBACK_RUNGS",
+    "MemorySolutionCache",
     "PartialSolution",
     "ResiliencePolicy",
     "ResilienceReport",
     "Route",
+    "SolutionCache",
     "SolveEngine",
     "SolvesComponents",
+    "cache_choices",
+    "default_cache_dir",
     "exact_k2_route",
     "pool_context",
+    "resolve_cache",
     "resolve_rung",
     "run_components",
     "run_components_resilient",
+    "set_default_cache",
     "size_histogram",
     "solve_component_k2",
 ]

@@ -30,9 +30,18 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.bitspace import component_fingerprint
 from repro.core.instance import MC3Instance
 from repro.core.kernels.registry import resolve_backend_name
 from repro.core.solution import Solution
+from repro.engine.cache import (
+    CacheRunStats,
+    SolutionCache,
+    cache_token_of,
+    decode_entry,
+    encode_entry,
+    resolve_cache,
+)
 from repro.engine.component import ComponentOutcome, SolvesComponents
 from repro.engine.executors import ComponentTask, run_components
 from repro.engine.resilience import (
@@ -43,6 +52,17 @@ from repro.engine.resilience import (
 from repro.engine.routing import Route
 from repro.engine.telemetry import EngineTelemetry
 from repro.preprocess import ALL_STEPS, preprocess
+
+
+def _covers(queries, classifiers) -> bool:
+    """Exact coverage check, sized for one component: every query must
+    contain at least one selected classifier.  Semantically the check
+    :func:`repro.core.coverage.verify_cover` performs, without building
+    its per-query mutable-set machinery — this runs once per cache
+    insert inside the < 3 % cold-path overhead budget
+    (``BENCH_cache.json``)."""
+    selected = list(classifiers)
+    return all(any(clf <= q for clf in selected) for q in queries)
 
 
 class SolveEngine:
@@ -74,6 +94,17 @@ class SolveEngine:
         registry default; per-route ``backend`` overrides win for their
         components.  Resolved once per run, so telemetry and worker
         tasks always carry a concrete name.
+    cache:
+        Component-solution cache spec (see :mod:`repro.engine.cache`):
+        a choice string (``"off"``/``"memory"``/``"disk"``), a
+        :class:`~repro.engine.cache.CacheConfig`, a live
+        :class:`~repro.engine.cache.SolutionCache`, or ``None`` for the
+        process default (``REPRO_SOLUTION_CACHE``).  Lookups happen
+        after preprocessing and routing, keyed by the canonical
+        :func:`~repro.core.bitspace.component_fingerprint`; only
+        fully-verified, non-degraded outcomes are inserted, and runs
+        with an active chaos injector bypass the cache entirely so
+        injected faults always exercise the fallback machinery.
     """
 
     def __init__(
@@ -83,12 +114,14 @@ class SolveEngine:
         routes: Sequence[Route] = (),
         resilience: Optional[ResiliencePolicy] = None,
         backend: Optional[str] = None,
+        cache: Optional[object] = None,
     ):
         self.preprocess_steps = tuple(preprocess_steps)
         self.jobs = max(1, int(jobs))
         self.routes = tuple(routes)
         self.resilience = resilience
         self.backend = backend
+        self.cache = cache
 
     # ------------------------------------------------------------------
 
@@ -97,6 +130,7 @@ class SolveEngine:
     ) -> Tuple[Solution, Dict[str, object]]:
         """Execute the full pipeline; returns (solution, details)."""
         backend_name = resolve_backend_name(self.backend)
+        cache = resolve_cache(self.cache)
         prep = preprocess(instance, steps=self.preprocess_steps)
         tasks = self._schedule(prep.components, component_solver, backend_name)
 
@@ -104,16 +138,49 @@ class SolveEngine:
         telemetry = EngineTelemetry(jobs=self.jobs, mode=mode, backend=backend_name)
         telemetry.preprocess_seconds = prep.report.elapsed_seconds
 
+        # An active chaos injector bypasses the cache entirely: a hit
+        # would skip the solve a planned fault was scheduled into, and
+        # the injector's per-(rung, index, attempt) schedule must stay
+        # exercised for the determinism tests to mean anything.
+        chaos_active = (
+            self.resilience is not None
+            and getattr(self.resilience, "chaos", None) is not None
+        )
+        cache_stats: Optional[CacheRunStats] = None
+        hits: List[ComponentOutcome] = []
+        pending = tasks
+        fingerprints: Dict[int, str] = {}
+        cached_components: Dict[int, MC3Instance] = {}
+        if cache is not None and not chaos_active:
+            cache_stats = CacheRunStats(cache.kind)
+            hits, pending = self._cache_lookup(
+                tasks, cache, cache_stats, fingerprints, cached_components
+            )
+
         dispatch_started = time.perf_counter()
         if self.resilience is not None:
-            outcomes, resilience_report = run_components_resilient(
-                tasks, jobs=self.jobs, policy=self.resilience
+            solved, resilience_report = run_components_resilient(
+                pending, jobs=self.jobs, policy=self.resilience
             )
             telemetry.resilience = resilience_report.as_dict()
         else:
-            outcomes = run_components(tasks, jobs=self.jobs)
+            solved = run_components(pending, jobs=self.jobs)
             resilience_report = None
         telemetry.solve_seconds = time.perf_counter() - dispatch_started
+
+        if cache is not None and cache_stats is not None and fingerprints:
+            self._cache_insert(
+                cache,
+                cache_stats,
+                solved,
+                fingerprints,
+                cached_components,
+                resilience_report,
+            )
+
+        outcomes = sorted(hits + list(solved), key=lambda outcome: outcome.index)
+        if cache_stats is not None:
+            telemetry.cache = cache_stats.as_dict(cache.stats())
 
         merge_started = time.perf_counter()
         selected = set()
@@ -174,6 +241,113 @@ class SolveEngine:
                     break
             tasks.append((index, target, component, route_name, task_backend))
         return tasks
+
+    # ------------------------------------------------------------------
+    # Content-addressed component-solution cache (see repro.engine.cache)
+    # ------------------------------------------------------------------
+
+    def _cache_lookup(
+        self,
+        tasks: List[ComponentTask],
+        cache: SolutionCache,
+        stats: CacheRunStats,
+        fingerprints: Dict[int, str],
+        cached_components: Dict[int, MC3Instance],
+    ) -> Tuple[List[ComponentOutcome], List[ComponentTask]]:
+        """Split tasks into cache-hit outcomes and still-pending tasks.
+
+        A task is cacheable only when its dispatch target exposes a
+        cache token (every in-repo solver and route does; custom
+        ``SolvesComponents`` objects do not and are never cached).  The
+        fingerprint pins the *primary* rung slot — under a resilience
+        policy a hit stands in for the primary solver's clean answer,
+        so the hit outcome carries the primary rung name exactly as an
+        uncached clean resilient run would.
+        """
+        resilient = self.resilience is not None
+        hit_outcomes: List[ComponentOutcome] = []
+        pending: List[ComponentTask] = []
+        for task in tasks:
+            index, target, component, route_name, task_backend = task
+            token = cache_token_of(target)
+            if token is None:
+                stats.uncacheable += 1
+                pending.append(task)
+                continue
+            started = time.perf_counter()
+            fingerprint = component_fingerprint(
+                component,
+                solver_token=token,
+                route=route_name,
+                backend=task_backend,
+            )
+            blob = cache.get(fingerprint)
+            decoded = decode_entry(blob, fingerprint) if blob is not None else None
+            elapsed = time.perf_counter() - started
+            stats.lookup_seconds += elapsed
+            if decoded is None:
+                stats.misses += 1
+                fingerprints[index] = fingerprint
+                cached_components[index] = component
+                pending.append(task)
+                continue
+            stats.hits += 1
+            classifiers, details = decoded
+            hit_outcomes.append(
+                ComponentOutcome(
+                    index,
+                    classifiers,
+                    details,
+                    elapsed,
+                    component.n,
+                    route_name,
+                    rung=getattr(target, "name", None) if resilient else None,
+                    backend=task_backend,
+                )
+            )
+        return hit_outcomes, pending
+
+    def _cache_insert(
+        self,
+        cache: SolutionCache,
+        stats: CacheRunStats,
+        solved: List[ComponentOutcome],
+        fingerprints: Dict[int, str],
+        cached_components: Dict[int, MC3Instance],
+        resilience_report,
+    ) -> None:
+        """Insert fully-verified, non-degraded outcomes only.
+
+        Components with any recorded failure, degraded/skipped status,
+        or retried attempts are never inserted — a cached entry must be
+        indistinguishable from a clean first-attempt primary solve.
+        Every candidate is re-checked for exact coverage before it is
+        written, and outcomes whose details do not serialize are
+        skipped rather than cached lossily.
+        """
+        failed = set()
+        if resilience_report is not None:
+            failed.update(f.index for f in resilience_report.failures)
+            failed.update(resilience_report.degraded)
+            failed.update(resilience_report.skipped)
+        for outcome in solved:
+            fingerprint = fingerprints.get(outcome.index)
+            if fingerprint is None or outcome.index in failed:
+                continue
+            if outcome.attempts > 1:
+                continue
+            started = time.perf_counter()
+            component = cached_components[outcome.index]
+            if not _covers(component.queries, outcome.classifiers):
+                stats.insert_skips += 1
+                stats.insert_seconds += time.perf_counter() - started
+                continue
+            blob = encode_entry(fingerprint, outcome.classifiers, outcome.details)
+            if blob is not None and cache.put(fingerprint, blob):
+                stats.inserts += 1
+            else:
+                stats.insert_skips += 1
+            stats.insert_seconds += time.perf_counter() - started
 
     @staticmethod
     def _aggregate(

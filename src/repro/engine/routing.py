@@ -81,9 +81,16 @@ class Route:
     including ``"auto"``); ``None`` inherits the engine-level backend.
     A route that knows its components are large can opt into the array
     backend while small components stay on the cheaper pure-python one.
+
+    ``cache_token`` is the route's contribution to the
+    component-solution cache key (see :mod:`repro.engine.cache`): a flat
+    tuple of scalars naming every output-affecting knob of the routed
+    algorithm.  ``None`` (the default) marks the route's components as
+    uncacheable — the safe choice for a bespoke route whose knobs the
+    token would miss.
     """
 
-    __slots__ = ("name", "_predicate", "_solve", "backend")
+    __slots__ = ("name", "_predicate", "_solve", "backend", "cache_token")
 
     def __init__(
         self,
@@ -91,11 +98,13 @@ class Route:
         predicate: Callable[[MC3Instance], bool],
         solve: Callable[[MC3Instance], Tuple[Set[Classifier], Dict[str, object]]],
         backend: Optional[str] = None,
+        cache_token: Optional[Tuple[object, ...]] = None,
     ):
         self.name = name
         self._predicate = predicate
         self._solve = solve
         self.backend = backend
+        self.cache_token = None if cache_token is None else tuple(cache_token)
 
     def matches(self, component: MC3Instance) -> bool:
         return self._predicate(component)
@@ -145,4 +154,5 @@ def exact_k2_route(
         _IsK2Component(),
         _SolveK2Component(flow_algorithm),
         backend=backend,
+        cache_token=("route", EXACT_K2_ROUTE, flow_algorithm),
     )

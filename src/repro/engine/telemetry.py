@@ -50,6 +50,7 @@ class EngineTelemetry:
         "backends",
         "rungs",
         "resilience",
+        "cache",
         "bitspace_properties",
         "bitspace_elements",
         "bitspace_sets",
@@ -73,6 +74,10 @@ class EngineTelemetry:
         # rendered by the engine when a policy was active.
         self.rungs: Dict[str, int] = {}
         self.resilience: Optional[Dict[str, object]] = None
+        # Component-solution cache counters for this run (hits, misses,
+        # inserts, lookup/insert seconds + the backing store's lifetime
+        # stats); None when the run had no cache configured.
+        self.cache: Optional[Dict[str, object]] = None
         # Per-component bitset property-space footprints (components
         # whose solver reported a "bitspace" details entry — i.e. went
         # through the interned-mask WSC path rather than e.g. max-flow).
@@ -137,4 +142,6 @@ class EngineTelemetry:
             rendered["rungs"] = dict(self.rungs)
         if self.resilience is not None:
             rendered["resilience"] = self.resilience
+        if self.cache is not None:
+            rendered["cache"] = self.cache
         return rendered

@@ -17,6 +17,13 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro.core.kernels.registry import backend_choices, set_default_backend
+from repro.engine.cache import (
+    CACHE_ENV_VAR,
+    CacheConfig,
+    cache_choices,
+    resolve_cache,
+    set_default_cache,
+)
 from repro.experiments.ablations import (
     maxflow_comparison,
     preprocessing_steps,
@@ -100,10 +107,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         "for every solver the experiments construct); output is "
         "bit-identical across backends",
     )
+    parser.add_argument(
+        "--cache",
+        choices=cache_choices(),
+        default=None,
+        help="component-solution cache (process-wide default for every "
+        "solver the experiments construct): off, memory, or disk. "
+        f"Default: the {CACHE_ENV_VAR} environment variable, else off. "
+        "Results are bit-identical with and without the cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the disk cache (implies --cache disk)",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        dest="cache_max_mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="cache size budget in megabytes (default 64)",
+    )
     args = parser.parse_args(argv)
 
     if args.backend is not None:
         set_default_backend(args.backend)
+
+    cache_enabled = (
+        args.cache is not None
+        or args.cache_dir is not None
+        or args.cache_max_mb is not None
+    )
+    if cache_enabled:
+        set_default_cache(
+            CacheConfig(
+                backend=args.cache
+                or ("disk" if args.cache_dir is not None else "memory"),
+                directory=args.cache_dir,
+                max_mb=args.cache_max_mb,
+            )
+        )
 
     handle = open(args.output, "a", encoding="utf-8") if args.output else None
 
@@ -120,6 +166,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             elapsed = time.perf_counter() - started
             emit(result.render())
             emit(f"[{name} completed in {elapsed:.1f}s]")
+            if cache_enabled:
+                store = resolve_cache(None)
+                if store is not None:
+                    stats = store.stats()
+                    lookups = stats["hits"] + stats["misses"]
+                    rate = stats["hits"] / lookups if lookups else 0.0
+                    emit(
+                        f"[cache: {stats['kind']} — {stats['hits']} hit(s) / "
+                        f"{lookups} lookup(s) ({rate:.0%}), "
+                        f"{stats['entries']} entr(ies), {stats['bytes']} bytes]"
+                    )
             emit("")
     finally:
         if handle is not None:

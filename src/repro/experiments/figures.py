@@ -22,8 +22,8 @@ from repro.datasets import (
     synthetic,
     synthetic_k2,
 )
-from repro.experiments.report import FigureResult, Series
-from repro.experiments.runner import SolverSpec, subset_order, sweep
+from repro.experiments.report import FigureResult, Series, cache_hit_table
+from repro.experiments.runner import SolverSpec, SweepResult, subset_order, sweep
 from repro.solvers import make_solver
 
 #: Classifier-length bound used for the general-problem synthetic runs
@@ -34,6 +34,18 @@ SYNTHETIC_KPRIME = 3
 
 def _sizes(default: Sequence[int], sizes: Optional[Sequence[int]]) -> List[int]:
     return list(sizes) if sizes is not None else list(default)
+
+
+def _cache_notes(result: SweepResult, labels: Sequence[str], extra: str = "") -> str:
+    """Figure notes with the per-run cache hit-rate table appended.
+
+    Empty (or just ``extra``) when the sweep ran without a solution
+    cache, so figure output is unchanged for uncached runs.
+    """
+    table = cache_hit_table(
+        "#queries", [Series(label, result.cache_hit_points(label)) for label in labels]
+    )
+    return "\n".join(part for part in (extra, table) if part)
 
 
 # ----------------------------------------------------------------------
@@ -67,6 +79,7 @@ def figure_3a(
         "#queries",
         "construction cost",
         [Series(label, result.cost_points(label)) for label, _n, _k in solvers],
+        notes=_cache_notes(result, [label for label, _n, _k in solvers]),
     )
 
 
@@ -95,6 +108,7 @@ def figure_3b(
         "#queries",
         "construction cost",
         [Series(label, result.cost_points(label)) for label, _n, _k in solvers],
+        notes=_cache_notes(result, [label for label, _n, _k in solvers]),
     )
 
 
@@ -170,7 +184,11 @@ def figure_3d(
         "#queries",
         "construction cost",
         [Series(label, series_points[label]) for label, _n, _k in solvers],
-        notes="x=1000 uses the fashion-category slice (96% short), per Section 6.2.",
+        notes=_cache_notes(
+            result,
+            [label for label, _n, _k in solvers],
+            extra="x=1000 uses the fashion-category slice (96% short), per Section 6.2.",
+        ),
     )
 
 

@@ -22,21 +22,35 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.instance import MC3Instance
 from repro.exceptions import SolverError
-from repro.experiments.runner import SolverSpec, SweepResult, subset_order, with_jobs
+from repro.experiments.runner import (
+    SolverSpec,
+    SweepResult,
+    cache_hit_rate,
+    subset_order,
+    with_cache,
+    with_jobs,
+)
 from repro.solvers import make_solver
 
 
 def _solve_cell(
     payload: Tuple[MC3Instance, str, str, Dict[str, object], int]
-) -> Tuple[str, int, Optional[float], Optional[float], Optional[str]]:
+) -> Tuple[str, int, Optional[float], Optional[float], Optional[str], Optional[float]]:
     """Worker: solve one (solver, size) cell.  Returns
-    (label, size, cost, seconds, error)."""
+    (label, size, cost, seconds, error, cache hit rate)."""
     sub, label, solver_name, kwargs, size = payload
     try:
         result = make_solver(solver_name, **kwargs).solve(sub)
     except SolverError as exc:
-        return label, size, None, None, str(exc)
-    return label, size, result.cost, result.elapsed_seconds, None
+        return label, size, None, None, str(exc), None
+    return (
+        label,
+        size,
+        result.cost,
+        result.elapsed_seconds,
+        None,
+        cache_hit_rate(result.details),
+    )
 
 
 def parallel_sweep(
@@ -47,13 +61,18 @@ def parallel_sweep(
     processes: Optional[int] = None,
     allow_failures: bool = False,
     jobs: int = 1,
+    cache: object = None,
 ) -> SweepResult:
     """Like :func:`repro.experiments.runner.sweep`, fanned out over a
     process pool.  Deterministic: results are identical to the
     sequential sweep (same subset order, same solvers), only wall-clock
     differs.  ``jobs > 1`` additionally parallelises each solve over its
     components (engine level); the worker count multiplies to at most
-    ``processes × jobs``."""
+    ``processes × jobs``.  ``cache`` must be a picklable *spec* (choice
+    string or :class:`~repro.engine.cache.CacheConfig`, not a live
+    cache); each worker process resolves its own store, so hits accrue
+    within a worker (or across workers through a shared disk
+    directory)."""
     clamped: List[int] = []
     for size in sizes:
         value = min(int(size), instance.n)
@@ -66,10 +85,14 @@ def parallel_sweep(
     for size in clamped:
         sub = instance.subset(size, order=order)
         for label, name, kwargs in solvers:
-            tasks.append((sub, label, name, with_jobs(kwargs, jobs), size))
+            tasks.append(
+                (sub, label, name, with_cache(with_jobs(kwargs, jobs), cache), size)
+            )
 
     with ProcessPoolExecutor(max_workers=processes) as pool:
-        for label, size, cost, seconds, error in pool.map(_solve_cell, tasks):
+        for label, size, cost, seconds, error, hit_rate in pool.map(
+            _solve_cell, tasks
+        ):
             if error is not None:
                 if not allow_failures:
                     raise SolverError(error)
@@ -77,4 +100,6 @@ def parallel_sweep(
                 continue
             result.costs.setdefault(label, {})[size] = cost
             result.times.setdefault(label, {})[size] = seconds
+            if hit_rate is not None:
+                result.cache_hit_rates.setdefault(label, {})[size] = hit_rate
     return result

@@ -59,6 +59,31 @@ class Series:
         return [x for x, _y in self.points]
 
 
+def cache_hit_table(x_label: str, series: Sequence["Series"]) -> str:
+    """Per-run solution-cache hit rates as an extra aligned table.
+
+    Returns the empty string when no run reported cache telemetry (the
+    sweep ran uncached), so callers can attach the result to a figure's
+    ``notes`` unconditionally.
+    """
+    populated = [s for s in series if s.points]
+    if not populated:
+        return ""
+    xs = sorted({x for s in populated for x, _ in s.points})
+    value_of: Dict[str, Dict[float, float]] = {
+        s.name: dict(s.points) for s in populated
+    }
+    rows: List[List[object]] = []
+    for x in xs:
+        row: List[object] = [int(x) if float(x).is_integer() else x]
+        for s in populated:
+            rate = value_of[s.name].get(x)
+            row.append("-" if rate is None else f"{rate:.0%}")
+        rows.append(row)
+    headers = [x_label] + [s.name for s in populated]
+    return "cache hit rate per run:\n" + render_table(headers, rows)
+
+
 class FigureResult:
     """A reproduced figure panel: shared x axis, one series per line."""
 

@@ -36,10 +36,18 @@ class SweepResult:
         self.costs: Dict[str, Dict[int, float]] = {}
         self.times: Dict[str, Dict[int, float]] = {}
         self.failures: Dict[str, Dict[int, str]] = {}
+        # Component-cache hit rate per cell (only cells whose solver ran
+        # with a cache record one) — sweeps over nested subset prefixes
+        # re-solve shared components, so this shows how much the sweep
+        # amortized.
+        self.cache_hit_rates: Dict[str, Dict[int, float]] = {}
 
     def record(self, solver_label: str, size: int, result: SolverResult) -> None:
         self.costs.setdefault(solver_label, {})[size] = result.cost
         self.times.setdefault(solver_label, {})[size] = result.elapsed_seconds
+        hit_rate = cache_hit_rate(result.details)
+        if hit_rate is not None:
+            self.cache_hit_rates.setdefault(solver_label, {})[size] = hit_rate
 
     def record_failure(self, solver_label: str, size: int, message: str) -> None:
         self.failures.setdefault(solver_label, {})[size] = message
@@ -51,6 +59,22 @@ class SweepResult:
     def time_points(self, solver_label: str) -> List[Tuple[float, float]]:
         data = self.times.get(solver_label, {})
         return [(size, data[size]) for size in self.sizes if size in data]
+
+    def cache_hit_points(self, solver_label: str) -> List[Tuple[float, float]]:
+        data = self.cache_hit_rates.get(solver_label, {})
+        return [(size, data[size]) for size in self.sizes if size in data]
+
+
+def cache_hit_rate(details: Dict[str, object]) -> Optional[float]:
+    """The engine's cache hit rate from a result's details, if any."""
+    engine = details.get("engine")
+    if not isinstance(engine, dict):
+        return None
+    cache = engine.get("cache")
+    if not isinstance(cache, dict):
+        return None
+    rate = cache.get("hit_rate")
+    return float(rate) if isinstance(rate, (int, float)) else None
 
 
 SolverSpec = Tuple[str, str, Dict[str, object]]
@@ -68,6 +92,17 @@ def with_jobs(kwargs: Dict[str, object], jobs: int) -> Dict[str, object]:
     return merged
 
 
+def with_cache(kwargs: Dict[str, object], cache: object) -> Dict[str, object]:
+    """Inject a component-cache spec into a spec's constructor kwargs
+    (same precedence convention as :func:`with_jobs`: an explicit
+    ``cache`` in the spec wins)."""
+    if cache is None or "cache" in kwargs:
+        return dict(kwargs)
+    merged = dict(kwargs)
+    merged["cache"] = cache
+    return merged
+
+
 def sweep(
     instance: MC3Instance,
     solvers: Sequence[SolverSpec],
@@ -75,6 +110,7 @@ def sweep(
     seed: int = 0,
     allow_failures: bool = False,
     jobs: int = 1,
+    cache: object = None,
 ) -> SweepResult:
     """Run each solver over random prefixes of the query load.
 
@@ -82,7 +118,10 @@ def sweep(
     deduplicated).  ``allow_failures=True`` records solver errors (e.g.
     Mixed on non-uniform costs) instead of propagating them.  ``jobs``
     is handed to every solver for engine-level component parallelism —
-    solutions are unchanged, only wall-clock differs.
+    solutions are unchanged, only wall-clock differs.  ``cache`` (a
+    :mod:`repro.engine.cache` spec) is handed to every solver that
+    accepts it; nested prefixes share components, so later subset sizes
+    hit the earlier sizes' cached solutions.
     """
     clamped: List[int] = []
     for size in sizes:
@@ -94,7 +133,7 @@ def sweep(
     for size in clamped:
         sub = instance.subset(size, order=order)
         for label, name, kwargs in solvers:
-            solver = make_solver(name, **with_jobs(kwargs, jobs))
+            solver = make_solver(name, **with_cache(with_jobs(kwargs, jobs), cache))
             try:
                 result.record(label, size, solver.solve(sub))
             except SolverError as exc:

@@ -63,6 +63,14 @@ class IncrementalPlanner:
         Which solver handles each residual batch (default: Algorithm 3).
     max_classifier_length:
         Optional bound k' applied to every batch.
+    cache:
+        Component-solution cache spec (see :mod:`repro.engine.cache`)
+        shared by every batch solve *and* :meth:`replan`.  This is the
+        incremental fast path: a new batch's residual decomposes into
+        components, and every component untouched by the batch (no new
+        query shares properties with it, no built classifier changed its
+        candidate costs) fingerprints identically to last time and is
+        served from the cache instead of re-solved.
     """
 
     def __init__(
@@ -71,10 +79,14 @@ class IncrementalPlanner:
         solver_name: str = "mc3-general",
         solver_kwargs: Optional[Dict[str, object]] = None,
         max_classifier_length: Optional[int] = None,
+        cache: Optional[object] = None,
     ):
         self.cost = cost
         self.solver_name = solver_name
         self.solver_kwargs = dict(solver_kwargs or {})
+        if cache is not None:
+            self.solver_kwargs["cache"] = cache
+        self.cache = self.solver_kwargs.get("cache")
         self.max_classifier_length = max_classifier_length
         self._built: Set[Classifier] = set()
         self._queries: List[Query] = []

@@ -55,6 +55,11 @@ class _InstanceCost(CostModel):
             self._cache[clf] = cached
         return cached
 
+    def content_token(self):
+        # Memoisation never changes pricing, so the adapter is exactly
+        # as content-addressable as the instance it wraps.
+        return self._instance.cost_content_token()
+
 
 class PreprocessResult:
     """Outcome of running Algorithm 1 on an instance."""

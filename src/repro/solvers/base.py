@@ -49,17 +49,43 @@ class Solver(ABC):
         or ``"auto"``).  ``None`` (the default) uses the active registry
         default.  The choice is installed around the whole ``_solve``
         call, so baselines and engine-based solvers honour it alike.
+    cache:
+        Component-solution cache spec (see :mod:`repro.engine.cache`): a
+        choice string (``"off"``/``"memory"``/``"disk"``), a
+        :class:`~repro.engine.cache.CacheConfig`, a live cache, or
+        ``None`` for the process default (``REPRO_SOLUTION_CACHE``).
+        Engine-based solvers thread it into the pipeline; solvers
+        without a component decomposition accept and ignore it, so
+        harnesses can pass ``cache=`` uniformly (same convention as
+        ``jobs``).
     """
 
     #: Short identifier used by the registry and experiment reports.
     name: str = "solver"
 
     def __init__(
-        self, verify: bool = True, jobs: int = 1, backend: Optional[str] = None
+        self,
+        verify: bool = True,
+        jobs: int = 1,
+        backend: Optional[str] = None,
+        cache: Optional[object] = None,
     ):
         self.verify = verify
         self.jobs = max(1, int(jobs))
         self.backend = backend
+        self.cache = cache
+
+    def cache_token(self) -> Optional[Tuple[object, ...]]:
+        """Flat tuple of scalars naming every output-affecting knob, or
+        ``None`` for "never cache my components".
+
+        The base implementation returns ``None`` deliberately: a solver
+        must *opt in* by enumerating its knobs, because a token that
+        silently misses one would serve stale answers when that knob
+        changes.  Stateless solvers whose only identity is their name
+        can return ``(self.name,)``.
+        """
+        return None
 
     def solve(self, instance: MC3Instance) -> SolverResult:
         """Solve the instance; timed and (optionally) verified."""
@@ -101,8 +127,9 @@ class ComponentSolver(Solver):
         verify: bool = True,
         resilience: Optional[ResiliencePolicy] = None,
         backend: Optional[str] = None,
+        cache: Optional[object] = None,
     ):
-        super().__init__(verify=verify, jobs=jobs, backend=backend)
+        super().__init__(verify=verify, jobs=jobs, backend=backend, cache=cache)
         self.preprocess_steps = tuple(preprocess_steps)
         self.resilience = resilience
 
@@ -141,5 +168,6 @@ class ComponentSolver(Solver):
             routes=self.routes(),
             resilience=self.resilience,
             backend=self.backend,
+            cache=self.cache,
         )
         return engine.run(instance, self)

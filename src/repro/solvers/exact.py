@@ -43,6 +43,7 @@ class ExactSolver(ComponentSolver):
         verify: bool = True,
         resilience: Optional[ResiliencePolicy] = None,
         backend: Optional[str] = None,
+        cache: Optional[object] = None,
     ):
         super().__init__(
             preprocess_steps=preprocess_steps,
@@ -50,11 +51,19 @@ class ExactSolver(ComponentSolver):
             verify=verify,
             resilience=resilience,
             backend=backend,
+            cache=cache,
         )
         if engine not in ("combinatorial", "lp"):
             raise SolverError(f"unknown exact engine {engine!r}")
         self.node_limit = node_limit
         self.engine = engine
+
+    def cache_token(self) -> Optional[Tuple[object, ...]]:
+        # ``node_limit`` matters: a search that hits the limit raises,
+        # so a cached entry proves the limit was generous enough — but a
+        # *smaller* limit must not be served a bigger limit's answer, or
+        # the limit stops being reproducible.
+        return (self.name, self.engine, self.node_limit)
 
     def solve_component(
         self, component: MC3Instance

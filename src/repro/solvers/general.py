@@ -83,6 +83,7 @@ class GeneralSolver(ComponentSolver):
         verify: bool = True,
         resilience: Optional[ResiliencePolicy] = None,
         backend: Optional[str] = None,
+        cache: Optional[object] = None,
     ):
         super().__init__(
             preprocess_steps=preprocess_steps,
@@ -90,11 +91,18 @@ class GeneralSolver(ComponentSolver):
             verify=verify,
             resilience=resilience,
             backend=backend,
+            cache=cache,
         )
         self.wsc_method = wsc_method
         self.lp_size_limit = lp_size_limit
         self.prune = prune
         self.dispatch_k2 = dispatch_k2
+
+    def cache_token(self) -> Optional[Tuple[object, ...]]:
+        # ``dispatch_k2`` is deliberately absent: routed components carry
+        # the route's own token, and unrouted ones solve identically
+        # whether the route was offered or not.
+        return (self.name, self.wsc_method, self.lp_size_limit, self.prune)
 
     def routes(self) -> Tuple[Route, ...]:
         return (exact_k2_route(),) if self.dispatch_k2 else ()

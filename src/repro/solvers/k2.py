@@ -53,6 +53,7 @@ class K2Solver(ComponentSolver):
         verify: bool = True,
         resilience: Optional[ResiliencePolicy] = None,
         backend: Optional[str] = None,
+        cache: Optional[object] = None,
     ):
         super().__init__(
             preprocess_steps=preprocess_steps,
@@ -60,8 +61,12 @@ class K2Solver(ComponentSolver):
             verify=verify,
             resilience=resilience,
             backend=backend,
+            cache=cache,
         )
         self.flow_algorithm = flow_algorithm
+
+    def cache_token(self) -> Optional[Tuple[object, ...]]:
+        return (self.name, self.flow_algorithm)
 
     def validate_instance(self, instance: MC3Instance) -> None:
         if instance.max_query_length > 2:

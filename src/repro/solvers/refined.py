@@ -136,18 +136,22 @@ class RefinedSolver(Solver):
         jobs: int = 1,
         verify: bool = True,
         backend: Optional[str] = None,
+        cache: Optional[object] = None,
         **general_kwargs,
     ):
-        super().__init__(verify=verify, jobs=jobs, backend=backend)
+        super().__init__(verify=verify, jobs=jobs, backend=backend, cache=cache)
         self.max_rounds = max_rounds
         self.preprocess_steps = tuple(preprocess_steps)
         self.dispatch_k2 = dispatch_k2
+        # The refinement pass is a global post-pass over the merged
+        # selection — only the inner per-component solve is cacheable.
         self._general = GeneralSolver(
             preprocess_steps=preprocess_steps,
             dispatch_k2=dispatch_k2,
             jobs=jobs,
             verify=False,
             backend=backend,
+            cache=cache,
             **general_kwargs,
         )
 

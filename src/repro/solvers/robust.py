@@ -61,6 +61,7 @@ class RobustSolver(ComponentSolver):
         verify: bool = True,
         resilience: Optional[ResiliencePolicy] = None,
         backend: Optional[str] = None,
+        cache: Optional[object] = None,
     ):
         super().__init__(
             preprocess_steps=preprocess_steps,
@@ -68,10 +69,14 @@ class RobustSolver(ComponentSolver):
             verify=verify,
             resilience=resilience,
             backend=backend,
+            cache=cache,
         )
         if redundancy < 1:
             raise SolverError("redundancy must be >= 1")
         self.redundancy = int(redundancy)
+
+    def cache_token(self) -> Optional[Tuple[object, ...]]:
+        return (self.name, self.redundancy)
 
     def solve_component(
         self, component: MC3Instance

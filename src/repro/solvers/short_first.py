@@ -47,8 +47,9 @@ class ShortFirstSolver(Solver):
         verify: bool = True,
         resilience: Optional[ResiliencePolicy] = None,
         backend: Optional[str] = None,
+        cache: Optional[object] = None,
     ):
-        super().__init__(verify=verify, jobs=jobs, backend=backend)
+        super().__init__(verify=verify, jobs=jobs, backend=backend, cache=cache)
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
         self.threshold = threshold
@@ -72,6 +73,7 @@ class ShortFirstSolver(Solver):
                 verify=False,  # the combined solution is verified once
                 resilience=self.resilience,
                 backend=self.backend,
+                cache=self.cache,
             )
             short_result = k2.solve(short)
             selected |= short_result.solution.classifiers
@@ -94,6 +96,7 @@ class ShortFirstSolver(Solver):
                 verify=False,
                 resilience=self.resilience,
                 backend=self.backend,
+                cache=self.cache,
             )
             long_result = general.solve(residual)
             selected |= long_result.solution.classifiers

@@ -22,6 +22,8 @@ from repro.experiments import (
     wsc_methods,
 )
 from repro.datasets import bestbuy_like
+from repro.engine.cache import CacheConfig, set_default_cache
+from repro.experiments.report import cache_hit_table
 from tests.conftest import random_instance
 
 
@@ -51,6 +53,41 @@ class TestReport:
         assert figure.series_by_name("a").ys() == [1.0]
         with pytest.raises(KeyError):
             figure.series_by_name("zz")
+
+    def test_cache_hit_table_empty_without_data(self):
+        assert cache_hit_table("n", []) == ""
+        assert cache_hit_table("n", [Series("a", [])]) == ""
+
+    def test_cache_hit_table_renders_percentages(self):
+        text = cache_hit_table(
+            "n", [Series("a", [(1, 0.0), (2, 0.75)]), Series("b", [(2, 1.0)])]
+        )
+        assert text.startswith("cache hit rate per run:")
+        assert "75%" in text and "100%" in text and "0%" in text
+
+    def test_cached_sweep_surfaces_hit_rates_in_figure(self):
+        set_default_cache(CacheConfig(backend="memory"))
+        try:
+            figure = figure_3a(n=24, sizes=[8, 16], seed=0)
+        finally:
+            set_default_cache(None)
+        text = figure.render()
+        # Engine-routed solvers (here MC3[S]) report per-run hit rates;
+        # whole-instance baselines never touch the component cache and
+        # stay out of the table.
+        assert "cache hit rate per run:" in text
+        assert "MC3[S]" in text.split("cache hit rate per run:")[1]
+        assert "%" in text.split("cache hit rate per run:")[1]
+
+    def test_uncached_sweep_keeps_figure_output_unchanged(self):
+        # Pin "off" so the assertion holds even when the suite runs with
+        # a process-wide default (REPRO_SOLUTION_CACHE=memory in CI).
+        set_default_cache(CacheConfig(backend="off"))
+        try:
+            figure = figure_3a(n=24, sizes=[8, 16], seed=0)
+        finally:
+            set_default_cache(None)
+        assert "cache hit rate" not in figure.render()
 
 
 class TestRunner:

@@ -159,6 +159,23 @@ PAIRED_FIXTURES = {
             return get_backend().greedy_wsc(instance)
         """,
     ),
+    "RPL204": (
+        "src/repro/engine/cache.py",
+        """
+        def key_material(parts):
+            blob = []
+            for name, mask in parts.items():
+                blob.append((name, mask, hash(name)))
+            return blob
+        """,
+        """
+        def key_material(parts):
+            blob = []
+            for name, mask in sorted(parts.items()):
+                blob.append((name, mask))
+            return blob
+        """,
+    ),
     "RPL301": (
         "src/repro/solvers/structural.py",
         """
