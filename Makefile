@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-save experiments experiments-full examples lint clean
+# Worker processes for reprolint's parallel per-module pass; output is
+# byte-identical to a serial run, so auto-scaling to the host is safe.
+LINT_JOBS ?= $(shell nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
+
+.PHONY: install test bench bench-save experiments experiments-full examples lint analyze clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -43,7 +47,14 @@ lint:
 		echo "ruff not installed; falling back to compileall syntax check"; \
 		$(PYTHON) -m compileall -q src tests benchmarks examples; \
 	fi
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.devtools.reprolint src tests benchmarks
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.devtools.reprolint --jobs $(LINT_JOBS) src tests benchmarks
+
+# Whole-program determinism analysis (module graph -> call graph ->
+# taint fixpoint; RPL5xx rules) gated against the checked-in baseline:
+# any NEW finding fails, and any baseline entry that no longer
+# reproduces fails too, so reprolint-baseline.json may only shrink.
+analyze:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.devtools.reprolint --analyze --baseline reprolint-baseline.json src
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis .benchmarks

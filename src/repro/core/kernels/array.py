@@ -428,10 +428,10 @@ def min_cover_dp(full: int, usable: Sequence[Tuple[int, float]]) -> MinCoverOutc
         for idx in np.nonzero(improving)[0].tolist():
             target = int(nxt[idx])
             candidate_cost = float(new_cost[idx])
-            current = float(dp_cost[target])
-            # reprolint: ignore[RPL103] (next line) exact equality
-            if candidate_cost < current or (
-                candidate_cost == current  # reprolint: ignore[RPL103]
+            current_cost = float(dp_cost[target])
+            if candidate_cost < current_cost or (
+                # Deliberate exact DP tie-break, same judgment as pyjit.
+                candidate_cost == current_cost  # reprolint: ignore[RPL103]
                 and count_next < int(dp_count[target])
             ):
                 dp_cost[target] = candidate_cost

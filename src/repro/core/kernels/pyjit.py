@@ -601,13 +601,12 @@ def min_cover_dp(full: int, usable: Sequence[Tuple[int, float]]) -> MinCoverOutc
             if nxt == mask:
                 continue
             new_cost = cost_here + weight
-            # reprolint: ignore[RPL103] deliberate exact tie-break: at
+            # RPL103 suppressed below — deliberate exact tie-break: at
             # equal DP cost prefer fewer classifiers.  Both sides are
             # produced by the same left-to-right accumulation over the
             # deterministic candidate order, so equality is exact and
             # pinned by the test_determinism tie-break suite.
             if new_cost < dp_cost[nxt] or (
-                # reprolint: ignore[RPL103] (next line) exact equality
                 new_cost == dp_cost[nxt]  # reprolint: ignore[RPL103]
                 and count_here + 1 < dp_count[nxt]
             ):

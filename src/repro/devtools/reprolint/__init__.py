@@ -15,6 +15,7 @@ Programmatic use::
 
 from repro.devtools.reprolint.model import SourceModule, Violation
 from repro.devtools.reprolint.registry import (
+    AnalysisRule,
     ProjectRule,
     Rule,
     all_rules,
@@ -23,29 +24,38 @@ from repro.devtools.reprolint.registry import (
 )
 from repro.devtools.reprolint.reporters import (
     as_json_document,
+    as_sarif_document,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.devtools.reprolint.runner import (
     SYNTAX_ERROR_ID,
+    UNUSED_SUPPRESSION_ID,
     LintResult,
+    PathError,
     collect_files,
     lint_paths,
 )
 
 __all__ = [
     "SYNTAX_ERROR_ID",
+    "UNUSED_SUPPRESSION_ID",
+    "AnalysisRule",
     "LintResult",
+    "PathError",
     "ProjectRule",
     "Rule",
     "SourceModule",
     "Violation",
     "all_rules",
     "as_json_document",
+    "as_sarif_document",
     "collect_files",
     "get_rule",
     "lint_paths",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

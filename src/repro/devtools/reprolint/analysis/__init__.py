@@ -1,0 +1,53 @@
+"""Whole-program analysis layer behind ``reprolint --analyze``.
+
+Three stages, each consuming the previous one's output:
+
+#. :mod:`.modgraph` — dotted-name module graph with per-module symbol
+   tables and import-alias resolution over the ``repro.*`` namespace;
+#. :mod:`.callgraph` — conservative call graph (direct calls, class
+   hierarchies, solver/kernel registry indirection);
+#. :mod:`.taint` — worklist dataflow propagating the nondeterminism
+   taint lattice along call edges and return values.
+
+:class:`WholeProgramAnalysis` bundles the three so the RPL5xx rules
+(and tests) get one object to query.  Building it is pure — no
+imports of scanned code are executed, everything is AST-level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.devtools.reprolint.analysis.callgraph import CallGraph
+from repro.devtools.reprolint.analysis.modgraph import ModuleGraph, module_name_of
+from repro.devtools.reprolint.analysis.taint import TaintEngine, TaintFinding
+from repro.devtools.reprolint.model import SourceModule
+
+
+class WholeProgramAnalysis:
+    """Module graph + call graph + taint fixpoint over one scanned set."""
+
+    def __init__(self, modules: Iterable[SourceModule]):
+        self.modules: List[SourceModule] = list(modules)
+        self.module_graph = ModuleGraph(self.modules)
+        self.call_graph = CallGraph(self.module_graph)
+        self.taint = TaintEngine(self.call_graph)
+
+    @property
+    def findings(self) -> List[TaintFinding]:
+        return self.taint.findings
+
+
+def build_analysis(modules: Iterable[SourceModule]) -> WholeProgramAnalysis:
+    return WholeProgramAnalysis(modules)
+
+
+__all__ = [
+    "CallGraph",
+    "ModuleGraph",
+    "TaintEngine",
+    "TaintFinding",
+    "WholeProgramAnalysis",
+    "build_analysis",
+    "module_name_of",
+]

@@ -1,0 +1,255 @@
+"""Module graph: dotted names, symbol tables, and import resolution.
+
+The whole-program pass only reasons about the ``repro.*`` namespace: a
+scanned file maps to a dotted module name via its ``src/repro/`` path
+segment (``src/repro/engine/cache.py`` → ``repro.engine.cache``), which
+makes the graph identical for the real tree and for fixture mirrors
+under a temporary directory — the same trick the path scopes use.
+
+Each module gets a :class:`ModuleTable`: its top-level functions, its
+classes (with methods and textual base names), and an alias table
+mapping every imported local name to the dotted thing it denotes.
+Foreign imports (``time``, ``random``, ``os`` …) are kept in the alias
+table too — the taint engine classifies nondeterminism *sources* by
+resolving call expressions to dotted names through exactly this table,
+so ``from time import perf_counter as clock`` cannot hide a clock read.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.devtools.reprolint.model import SourceModule
+from repro.devtools.reprolint.scopes import repro_relative
+
+PACKAGE_ROOT = "repro"
+
+
+def module_name_of(module: SourceModule) -> Optional[str]:
+    """Dotted ``repro.*`` name for a scanned file, or ``None`` for
+    files outside the package (tests, benchmarks, fixtures)."""
+    rel = repro_relative(module.scope_key)
+    if rel is None or not rel.endswith(".py"):
+        return None
+    parts = rel[: -len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([PACKAGE_ROOT] + parts) if parts else PACKAGE_ROOT
+
+
+class ClassInfo:
+    """One class definition: methods and textual base names."""
+
+    def __init__(self, module_name: str, node: ast.ClassDef):
+        self.module_name = module_name
+        self.node = node
+        self.name = node.name
+        self.bases: Tuple[str, ...] = tuple(
+            name
+            for name in (_base_name(base) for base in node.bases)
+            if name is not None
+        )
+        self.methods: Dict[str, ast.FunctionDef] = {}
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods[statement.name] = statement
+
+
+def _base_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):  # Generic[...] bases
+        return _base_name(node.value)
+    return None
+
+
+class ModuleTable:
+    """Symbols and import aliases of one ``repro.*`` module."""
+
+    def __init__(self, name: str, module: SourceModule):
+        self.name = name
+        self.module = module
+        self.functions: Dict[str, ast.FunctionDef] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: local alias → dotted target.  Targets need not be repro
+        #: modules: ``time`` → ``time``, ``clock`` →
+        #: ``time.perf_counter``, ``cache`` → ``repro.engine.cache``.
+        self.aliases: Dict[str, str] = {}
+        self._fill()
+
+    def _fill(self) -> None:
+        for node in self.module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = ClassInfo(self.name, node)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._from_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{base}.{alias.name}"
+
+    def _from_base(self, node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        # Relative import: resolve against this module's package.
+        parts = self.name.split(".")
+        # A module's package drops the final component; each extra
+        # level drops one more.
+        anchor = parts[: len(parts) - node.level]
+        if not anchor:
+            return None
+        if node.module:
+            anchor = anchor + node.module.split(".")
+        return ".".join(anchor)
+
+
+class ModuleGraph:
+    """Every scanned ``repro.*`` module, keyed by dotted name."""
+
+    def __init__(self, modules: List[SourceModule]):
+        self.tables: Dict[str, ModuleTable] = {}
+        for module in modules:
+            name = module_name_of(module)
+            if name is None:
+                continue
+            # Path-sorted scan order is deterministic; on a duplicate
+            # dotted name (one file seen via two path spellings) the
+            # first wins.
+            if name not in self.tables:
+                self.tables[name] = ModuleTable(name, module)
+        #: Global class index: class name → every definition (textual,
+        #: like the RPL3xx rules — exactly as precise as the import
+        #: graph this analysis polices).
+        self.classes: Dict[str, List[ClassInfo]] = {}
+        for table_name in sorted(self.tables):
+            for class_name, info in self.tables[table_name].classes.items():
+                self.classes.setdefault(class_name, []).append(info)
+        self._subclasses: Optional[Dict[str, List[str]]] = None
+
+    # -- name resolution -----------------------------------------------
+
+    def resolve_dotted(
+        self,
+        table: ModuleTable,
+        expr: ast.AST,
+        extra_aliases: Optional[Dict[str, str]] = None,
+    ) -> Optional[str]:
+        """Dotted name an expression denotes, through import aliases.
+
+        ``Name('time')`` → ``time``; ``Attribute(Name('time'),
+        'perf_counter')`` → ``time.perf_counter``; ``Name('clock')``
+        (from-import alias) → ``time.perf_counter``; unresolvable
+        expressions → ``None``.  ``extra_aliases`` layers function-level
+        imports over the module table.
+        """
+        if isinstance(expr, ast.Name):
+            if extra_aliases and expr.id in extra_aliases:
+                return extra_aliases[expr.id]
+            if expr.id in table.functions:
+                return f"{table.name}.{expr.id}"
+            if expr.id in table.classes:
+                return f"{table.name}.{expr.id}"
+            return table.aliases.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self.resolve_dotted(table, expr.value, extra_aliases)
+            if base is None:
+                return None
+            return f"{base}.{expr.attr}"
+        return None
+
+    def function_at(self, dotted: str) -> Optional[Tuple[ModuleTable, ast.FunctionDef]]:
+        """The top-level function a dotted name denotes, if scanned.
+
+        Follows one level of re-export indirection: if ``a.b.f`` is an
+        alias recorded in ``a.b``'s table (``from a.c import f``), the
+        aliased target is looked up too.
+        """
+        seen = set()
+        while dotted and dotted not in seen:
+            seen.add(dotted)
+            module_name, _, symbol = dotted.rpartition(".")
+            if not module_name:
+                return None
+            table = self.tables.get(module_name)
+            if table is None:
+                continue_to = None
+            else:
+                if symbol in table.functions:
+                    return table, table.functions[symbol]
+                continue_to = table.aliases.get(symbol)
+            if continue_to is None:
+                return None
+            dotted = continue_to
+        return None
+
+    def class_at(self, dotted: str) -> Optional[ClassInfo]:
+        """The class a dotted name denotes, if scanned (one level of
+        re-export indirection, like :meth:`function_at`)."""
+        seen = set()
+        while dotted and dotted not in seen:
+            seen.add(dotted)
+            module_name, _, symbol = dotted.rpartition(".")
+            if not module_name:
+                return None
+            table = self.tables.get(module_name)
+            if table is None:
+                return None
+            if symbol in table.classes:
+                return table.classes[symbol]
+            dotted = table.aliases.get(symbol)
+            if dotted is None:
+                return None
+        return None
+
+    # -- hierarchy -----------------------------------------------------
+
+    def subclasses_of(self, class_name: str) -> List[str]:
+        """Names of all (transitive) subclasses of ``class_name``."""
+        if self._subclasses is None:
+            children: Dict[str, List[str]] = {}
+            for name in sorted(self.classes):
+                for info in self.classes[name]:
+                    for base in info.bases:
+                        bucket = children.setdefault(base, [])
+                        if name not in bucket:
+                            bucket.append(name)
+            self._subclasses = children
+        out: List[str] = []
+        frontier = [class_name]
+        seen = {class_name}
+        while frontier:
+            current = frontier.pop()
+            for child in self._subclasses.get(current, ()):
+                if child not in seen:
+                    seen.add(child)
+                    out.append(child)
+                    frontier.append(child)
+        return sorted(out)
+
+    def ancestors_of(self, class_name: str) -> List[str]:
+        """Names of all (transitive, textual) base classes."""
+        out: List[str] = []
+        frontier = [class_name]
+        seen = {class_name}
+        while frontier:
+            current = frontier.pop()
+            for info in self.classes.get(current, ()):
+                for base in info.bases:
+                    if base not in seen:
+                        seen.add(base)
+                        out.append(base)
+                        frontier.append(base)
+        return sorted(out)

@@ -1,0 +1,142 @@
+"""Content-keyed finding baseline for the ``--analyze`` CI gate.
+
+A baseline entry identifies a *triaged* finding by content, not by
+line number: the key is a SHA-1 over ``rule_id | repo-relative path |
+stripped source line | occurrence index``, so reformatting or moving
+unrelated code does not invalidate it, while editing the flagged line
+itself does — exactly when the triage judgment needs a second look.
+
+The gate is asymmetric by design:
+
+* a finding **not** in the baseline fails the run (new debt is not
+  allowed in), and
+* a baseline entry that no longer reproduces also fails the run (the
+  baseline may only shrink — delete the entry when you fix the
+  finding).
+
+``--write-baseline`` regenerates the file from the current findings,
+sorted by key, with each entry carrying the human-readable context the
+key was derived from plus a ``justification`` field to fill in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.devtools.reprolint.model import SourceModule, Violation
+
+BASELINE_VERSION = 1
+
+#: Default checked-in location, relative to the invocation cwd.
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+def _source_line(
+    violation: Violation, modules_by_path: Dict[str, SourceModule]
+) -> str:
+    module = modules_by_path.get(violation.path)
+    if module is None:
+        return ""
+    lines = module.source.splitlines()
+    if 1 <= violation.line <= len(lines):
+        return lines[violation.line - 1].strip()
+    return ""
+
+
+def _normalized_path(path: str) -> str:
+    # Path() already normalizes away a leading "./".
+    return Path(path).as_posix()
+
+
+def finding_keys(
+    violations: Sequence[Violation],
+    modules_by_path: Dict[str, SourceModule],
+) -> List[Tuple[Violation, str]]:
+    """Stable content key per violation, in input order.
+
+    The occurrence index disambiguates identical findings on identical
+    source lines (e.g. two ``hash()`` calls in a file after a rename):
+    the n-th match of a given ``(rule, path, line-text)`` triple keeps
+    key slot n.
+    """
+    counters: Dict[Tuple[str, str, str], int] = {}
+    out: List[Tuple[Violation, str]] = []
+    for violation in violations:
+        text = _source_line(violation, modules_by_path)
+        triple = (violation.rule_id, _normalized_path(violation.path), text)
+        occurrence = counters.get(triple, 0)
+        counters[triple] = occurrence + 1
+        payload = "|".join([*triple, str(occurrence)])
+        key = hashlib.sha1(payload.encode("utf-8")).hexdigest()
+        out.append((violation, key))
+    return out
+
+
+def load_baseline(path: "str | Path") -> Dict[str, Dict[str, object]]:
+    """Key → entry map from a baseline file; ``{}`` if absent."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return {}
+    document = json.loads(file_path.read_text(encoding="utf-8"))
+    entries = document.get("findings", [])
+    return {entry["key"]: entry for entry in entries}
+
+
+def apply_baseline(
+    violations: Sequence[Violation],
+    modules_by_path: Dict[str, SourceModule],
+    baseline: Dict[str, Dict[str, object]],
+) -> Tuple[List[Violation], int, List[Dict[str, object]]]:
+    """Split findings against a baseline.
+
+    Returns ``(new_violations, matched_count, stale_entries)`` where
+    *new* findings are those whose key is absent from the baseline and
+    *stale* entries are baseline keys no current finding produced.
+    """
+    matched: set = set()
+    new: List[Violation] = []
+    for violation, key in finding_keys(violations, modules_by_path):
+        if key in baseline:
+            matched.add(key)
+        else:
+            new.append(violation)
+    stale = [
+        baseline[key] for key in sorted(baseline) if key not in matched
+    ]
+    return new, len(matched), stale
+
+
+def render_baseline(
+    violations: Sequence[Violation],
+    modules_by_path: Dict[str, SourceModule],
+    previous: Optional[Dict[str, Dict[str, object]]] = None,
+) -> str:
+    """Serialize current findings as a baseline document (sorted by
+    key).  Justifications from ``previous`` survive regeneration."""
+    previous = previous or {}
+    entries = []
+    for violation, key in finding_keys(violations, modules_by_path):
+        carried = previous.get(key, {})
+        entries.append(
+            {
+                "key": key,
+                "rule": violation.rule_id,
+                "path": _normalized_path(violation.path),
+                "line": violation.line,
+                "line_text": _source_line(violation, modules_by_path),
+                "message": violation.message,
+                "justification": carried.get(
+                    "justification", "TODO: justify or fix"
+                ),
+            }
+        )
+    entries.sort(key=lambda entry: entry["key"])
+    document = {
+        "tool": "reprolint",
+        "version": BASELINE_VERSION,
+        "findings": entries,
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -4,10 +4,14 @@ Usage::
 
     python -m repro.devtools.reprolint src tests benchmarks
     python -m repro.devtools.reprolint --format json src
+    python -m repro.devtools.reprolint --jobs 4 src tests benchmarks
+    python -m repro.devtools.reprolint --analyze --baseline reprolint-baseline.json src
+    python -m repro.devtools.reprolint --analyze --write-baseline reprolint-baseline.json src
     python -m repro.devtools.reprolint --list-rules
     python -m repro.devtools.reprolint --select RPL101,RPL103 src
 
-Exit codes: 0 clean, 1 violations found, 2 usage error.
+Exit codes: 0 clean, 1 violations found (including new-vs-baseline
+findings and stale baseline entries), 2 usage error.
 """
 
 from __future__ import annotations
@@ -16,9 +20,14 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.devtools.reprolint import baseline as baseline_mod
 from repro.devtools.reprolint.registry import all_rules
-from repro.devtools.reprolint.reporters import render_json, render_text
-from repro.devtools.reprolint.runner import collect_files, lint_paths
+from repro.devtools.reprolint.reporters import (
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.devtools.reprolint.runner import PathError, lint_paths
 
 
 def _rule_id_list(raw: str) -> List[str]:
@@ -40,7 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -59,6 +68,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "parse and run per-module rules in N worker processes; "
+            "output is byte-identical to --jobs 1 (default: 1)"
+        ),
+    )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help=(
+            "build the whole-program analysis (module graph, call "
+            "graph, taint fixpoint) and run the RPL5xx rules"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "compare findings against a checked-in baseline: only "
+            "findings absent from FILE fail the run, and baseline "
+            "entries that no longer reproduce fail it too"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the current findings to FILE as a baseline "
+            "(preserving justifications for unchanged entries) and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--allow-unused-suppressions",
+        action="store_true",
+        help="do not report stale `# reprolint: ignore` comments (RPL001)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -68,9 +119,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _print_rule_catalogue() -> None:
     for rule in all_rules():
-        kind = "project" if hasattr(rule, "check_project") else "module"
+        if getattr(rule, "requires_analysis", False):
+            kind = "analysis"
+        elif hasattr(rule, "check_project"):
+            kind = "project"
+        else:
+            kind = "module"
         print(f"{rule.rule_id}  {rule.name}  ({kind})")
         print(f"    {rule.summary}")
+
+
+_RENDERERS = {"text": render_text, "json": render_json, "sarif": render_sarif}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -86,12 +145,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("reprolint: error: no paths given", file=sys.stderr)
         return 2
 
-    if not collect_files(options.paths):
-        print("reprolint: error: no Python files under the given paths", file=sys.stderr)
+    if options.jobs < 1:
+        print("reprolint: error: --jobs must be >= 1", file=sys.stderr)
         return 2
 
     try:
-        result = lint_paths(options.paths, options.select, options.ignore)
+        result = lint_paths(
+            options.paths,
+            options.select,
+            options.ignore,
+            jobs=options.jobs,
+            analyze=options.analyze,
+            allow_unused_suppressions=options.allow_unused_suppressions,
+        )
+    except PathError as error:
+        print(f"reprolint: error: {error}", file=sys.stderr)
+        return 2
     except KeyError as error:
         known = ", ".join(rule.rule_id for rule in all_rules())
         print(
@@ -101,10 +170,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    if options.format == "json":
-        print(render_json(result))
-    else:
-        print(render_text(result))
+    if result.files_scanned == 0 and not result.violations:
+        print(
+            "reprolint: error: no Python files under the given paths",
+            file=sys.stderr,
+        )
+        return 2
+
+    if options.write_baseline:
+        previous = baseline_mod.load_baseline(options.write_baseline)
+        document = baseline_mod.render_baseline(
+            result.violations, result.modules_by_path, previous
+        )
+        with open(options.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(
+            f"reprolint: wrote {len(result.violations)} finding(s) to "
+            f"{options.write_baseline}"
+        )
+        return 0
+
+    if options.baseline:
+        entries = baseline_mod.load_baseline(options.baseline)
+        new, matched, stale = baseline_mod.apply_baseline(
+            result.violations, result.modules_by_path, entries
+        )
+        result.violations = new
+        renderer = _RENDERERS[options.format]
+        print(renderer(result))
+        for entry in stale:
+            print(
+                "reprolint: stale baseline entry (no longer reproduces): "
+                f"{entry.get('rule')} {entry.get('path')} "
+                f"[key {entry.get('key')}] — delete it from the baseline",
+                file=sys.stderr,
+            )
+        if options.format == "text":
+            print(
+                f"reprolint: baseline: {matched} matched, "
+                f"{len(new)} new, {len(stale)} stale"
+            )
+        return 0 if not new and not stale else 1
+
+    renderer = _RENDERERS[options.format]
+    print(renderer(result))
     return 0 if result.ok else 1
 
 

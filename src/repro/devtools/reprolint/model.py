@@ -13,6 +13,14 @@ Suppression syntax (one comment, on the violating line)::
 The bracket form silences only the listed rule ids (comma-separated);
 the bare form silences every rule on that line.  Trailing prose after
 the bracket is encouraged — every suppression should say *why*.
+
+A second annotation, ``# reprolint: sanitize``, feeds the
+whole-program taint analysis (``--analyze``): values produced on an
+annotated line are treated as determinism-clean, the human-judgment
+sanitizer for flows the lattice cannot prove order-free.  Lines
+carrying a justified ``ignore[RPL101]``/``ignore[RPL204]`` suppression
+are honoured the same way, so a single commutativity judgment does not
+have to be written twice.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ import re
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 #: Wildcard stored in the suppression table for bare ``ignore`` comments.
 SUPPRESS_ALL = "*"
@@ -31,6 +39,12 @@ SUPPRESS_ALL = "*"
 _SUPPRESSION_RE = re.compile(
     r"#\s*reprolint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_\-, ]+)\])?"
 )
+
+_SANITIZE_RE = re.compile(r"#\s*reprolint:\s*sanitize\b")
+
+#: Suppressions of these rules double as taint sanitizers: both assert
+#: that a specific unordered iteration is order-free by construction.
+_SANITIZING_SUPPRESSIONS = ("RPL101", "RPL204")
 
 
 @dataclass(frozen=True)
@@ -73,20 +87,51 @@ class SourceModule:
         source: str,
         tree: ast.Module,
         suppressions: Dict[int, Set[str]],
+        sanitized_lines: Optional[Set[int]] = None,
     ):
         self.path = path
         self.source = source
-        self.tree = tree
+        self._tree: Optional[ast.Module] = tree
         self.suppressions = suppressions
+        self.sanitized_lines = sanitized_lines or set()
+        #: Lines whose suppression actually silenced at least one
+        #: violation during the current run (RPL001 reports the rest).
+        self.used_suppressions: Set[int] = set()
         #: Posix-normalised path used for scope matching.
         self.scope_key = Path(path).as_posix()
+
+    @property
+    def tree(self) -> ast.Module:
+        """The parsed AST, rebuilt from source after pickling.
+
+        A module crossing a process boundary (``--jobs`` workers hand
+        their modules back to the parent) drops its tree: shipping 199
+        ASTs through pickle costs more than the parallelism saves, and
+        the parent only needs trees for the few files the project rules
+        actually inspect.  Re-parsing here is safe — the source already
+        parsed once in the worker.
+        """
+        if self._tree is None:
+            self._tree = ast.parse(self.source, filename=self.path)
+        return self._tree
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_tree"] = None
+        return state
 
     @classmethod
     def parse(cls, path: "str | Path") -> "SourceModule":
         """Read and parse ``path``; raises ``SyntaxError`` on bad source."""
         source = Path(path).read_text(encoding="utf-8")
         tree = ast.parse(source, filename=str(path))
-        return cls(str(path), source, tree, extract_suppressions(source))
+        return cls(
+            str(path),
+            source,
+            tree,
+            extract_suppressions(source),
+            extract_sanitized_lines(source),
+        )
 
     def violation(
         self, rule: "object", node: ast.AST, message: str
@@ -105,27 +150,54 @@ class SourceModule:
         rules = self.suppressions.get(violation.line)
         if not rules:
             return False
-        return SUPPRESS_ALL in rules or violation.rule_id in rules
+        if SUPPRESS_ALL in rules or violation.rule_id in rules:
+            self.used_suppressions.add(violation.line)
+            return True
+        return False
+
+    def is_sanitized(self, line: int) -> bool:
+        """Whether ``line`` carries a taint-sanitizing annotation: an
+        explicit ``# reprolint: sanitize`` or a justified suppression of
+        an order-judgment rule (RPL101/RPL204)."""
+        if line in self.sanitized_lines:
+            return True
+        rules = self.suppressions.get(line)
+        if not rules:
+            return False
+        return any(rule in rules for rule in _SANITIZING_SUPPRESSIONS)
+
+
+def _iter_comments(source: str):
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token
+    except tokenize.TokenError:
+        # Unterminated string/bracket: the AST parse will report it.
+        pass
 
 
 def extract_suppressions(source: str) -> Dict[int, Set[str]]:
     """Map line number → rule ids silenced there (``*`` = all rules)."""
     table: Dict[int, Set[str]] = {}
-    reader = io.StringIO(source).readline
-    try:
-        for token in tokenize.generate_tokens(reader):
-            if token.type != tokenize.COMMENT:
-                continue
-            match = _SUPPRESSION_RE.search(token.string)
-            if match is None:
-                continue
-            names = match.group("rules")
-            if names is None:
-                ids = {SUPPRESS_ALL}
-            else:
-                ids = {part.strip() for part in names.split(",") if part.strip()}
-            table.setdefault(token.start[0], set()).update(ids)
-    except tokenize.TokenError:
-        # Unterminated string/bracket: the AST parse will report it.
-        pass
+    for token in _iter_comments(source):
+        match = _SUPPRESSION_RE.search(token.string)
+        if match is None:
+            continue
+        names = match.group("rules")
+        if names is None:
+            ids = {SUPPRESS_ALL}
+        else:
+            ids = {part.strip() for part in names.split(",") if part.strip()}
+        table.setdefault(token.start[0], set()).update(ids)
     return table
+
+
+def extract_sanitized_lines(source: str) -> Set[int]:
+    """Lines carrying an explicit ``# reprolint: sanitize`` annotation."""
+    lines: Set[int] = set()
+    for token in _iter_comments(source):
+        if _SANITIZE_RE.search(token.string):
+            lines.add(token.start[0])
+    return lines

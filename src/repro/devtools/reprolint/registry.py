@@ -46,6 +46,23 @@ class ProjectRule(Rule):
         return ()
 
 
+class AnalysisRule(ProjectRule):
+    """A rule that consumes the whole-program analysis (``--analyze``).
+
+    Analysis rules only run when the runner was asked to build the
+    interprocedural pass; a plain lint run skips them so ``make lint``
+    stays fast.  They receive the shared
+    :class:`~repro.devtools.reprolint.analysis.WholeProgramAnalysis`
+    instead of re-deriving it per rule.
+    """
+
+    requires_analysis = True
+
+    def check_program(self, analysis) -> Iterable[Violation]:
+        """Yield violations from the whole-program analysis."""
+        return ()
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 

@@ -1,4 +1,4 @@
-"""Violation reporters: human-readable text and machine-readable JSON.
+"""Violation reporters: human-readable text, machine JSON, and SARIF.
 
 The JSON document is a stable schema (``version`` 1) for CI tooling::
 
@@ -21,13 +21,21 @@ from __future__ import annotations
 import json
 from typing import Dict
 
+from repro.devtools.reprolint.registry import all_rules
 from repro.devtools.reprolint.runner import LintResult
 
 JSON_SCHEMA_VERSION = 1
 
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
 
 def render_text(result: LintResult) -> str:
-    lines = [violation.render() for violation in result.violations]
+    lines = [f"reprolint: warning: {warning}" for warning in result.warnings]
+    lines += [violation.render() for violation in result.violations]
     noun = "file" if result.files_scanned == 1 else "files"
     summary = (
         f"reprolint: {len(result.violations)} violation(s), "
@@ -55,3 +63,62 @@ def as_json_document(result: LintResult) -> Dict[str, object]:
 
 def render_json(result: LintResult) -> str:
     return json.dumps(as_json_document(result), indent=2, sort_keys=True)
+
+
+def as_sarif_document(result: LintResult) -> Dict[str, object]:
+    """Minimal SARIF 2.1.0 log: one run, one result per violation.
+
+    SARIF is what code-scanning UIs (GitHub, VS Code SARIF viewers)
+    ingest; columns are 1-based there, so ``startColumn`` is the
+    violation's 0-based column plus one.
+    """
+    executed = set(result.rule_ids)
+    rules = [
+        {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+        }
+        for rule in all_rules()
+        if rule.rule_id in executed
+    ]
+    results = [
+        {
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": violation.path},
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in result.violations
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/devtools.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    return json.dumps(as_sarif_document(result), indent=2, sort_keys=True)

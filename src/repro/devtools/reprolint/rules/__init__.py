@@ -8,10 +8,15 @@ Rule id taxonomy:
   reference-oracle imports) and cache-key hygiene (hash-seed-dependent
   key material);
 * ``RPL3xx`` — solver contract (engine bypass, registry coverage);
-* ``RPL4xx`` — hygiene (mutable defaults, bare except).
+* ``RPL4xx`` — hygiene (mutable defaults, bare except);
+* ``RPL5xx`` — whole-program analysis (interprocedural determinism
+  taint, kernel-backend purity, seeded-randomness discipline); these
+  only run under ``--analyze``;
+* ``RPL0xx`` — meta (RPL000 syntax error, RPL001 unused suppression).
 """
 
 from repro.devtools.reprolint.rules import (  # noqa: F401  (registration side effect)
+    analysis,
     cache,
     determinism,
     hygiene,

@@ -1,4 +1,4 @@
-"""Hygiene rules (RPL4xx): mutable default arguments and bare except.
+"""Hygiene rules (RPL4xx) and the RPL001 unused-suppression meta-rule.
 
 Not determinism-specific, but both have bitten solver codebases in the
 same way: a mutable default shared across calls turns a pure kernel
@@ -14,6 +14,33 @@ from typing import Iterable
 from repro.devtools.reprolint.model import SourceModule, Violation
 from repro.devtools.reprolint.registry import Rule, register
 from repro.devtools.reprolint.scopes import in_resilience_scope, in_src
+
+@register
+class UnusedSuppressionRule(Rule):
+    """Meta-rule: its findings are emitted by the *runner*, which is
+    the only place that knows which suppression comments matched a
+    violation during the run.  Registering it here gives it a stable
+    id, a catalogue entry, and ``--select``/``--ignore`` handling."""
+
+    rule_id = "RPL001"
+    name = "unused-suppression"
+    summary = (
+        "a `# reprolint: ignore[...]` comment must silence at least "
+        "one finding; stale suppressions are findings themselves"
+    )
+    rationale = (
+        "A suppression that matches nothing is worse than dead code: "
+        "it asserts a judgment ('this line is exempt from rule X') "
+        "about a violation that no longer exists, and it will silently "
+        "eat the next real finding that appears on that line.  When a "
+        "comment is only needed as a taint sanitizer, write "
+        "`# reprolint: sanitize` instead of suppressing a rule that "
+        "does not fire.  Opt out per-run with "
+        "--allow-unused-suppressions (e.g. on partial-tree runs)."
+    )
+
+    # check() intentionally yields nothing — see class docstring.
+
 
 _MUTABLE_CONSTRUCTORS = {
     "list",

@@ -6,21 +6,50 @@ suppressed findings, and returns a :class:`LintResult` the reporters
 render.  Unparseable files surface as ``RPL000`` findings rather than
 crashing the run, so a syntax error in one file never hides findings in
 the rest of the tree.
+
+Two opt-in layers sit on top of the per-file pass:
+
+* ``jobs > 1`` fans parsing + per-module rule execution out to a
+  process pool.  Workers return their parsed modules and raw findings;
+  the parent merges them back **in path-sorted order** and runs the
+  project/analysis rules and suppression filtering exactly as the
+  serial path does, so the output is byte-identical to ``jobs=1``.
+* ``analyze=True`` builds the whole-program analysis (module graph →
+  call graph → taint fixpoint) once and hands it to every registered
+  :class:`~repro.devtools.reprolint.registry.AnalysisRule` (RPL5xx).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.devtools.reprolint.model import SourceModule, Violation
-from repro.devtools.reprolint.registry import ProjectRule, Rule, all_rules
+from repro.devtools.reprolint.model import (
+    SUPPRESS_ALL,
+    SourceModule,
+    Violation,
+)
+from repro.devtools.reprolint.registry import (
+    AnalysisRule,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+)
 
 #: Pseudo-rule id for files the parser rejects.
 SYNTAX_ERROR_ID = "RPL000"
 
+#: Meta-rule id for suppression comments that silence nothing.
+UNUSED_SUPPRESSION_ID = "RPL001"
+
 _SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+class PathError(ValueError):
+    """An input path does not exist (usage error, exit code 2)."""
 
 
 @dataclass
@@ -31,6 +60,10 @@ class LintResult:
     suppressed: int = 0
     files_scanned: int = 0
     rule_ids: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    #: Parsed modules, keyed by path — the baseline layer derives its
+    #: content keys from the flagged source lines.
+    modules_by_path: Dict[str, SourceModule] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -43,15 +76,29 @@ class LintResult:
         return counts
 
 
-def collect_files(paths: Sequence["str | Path"]) -> List[Path]:
-    """Python files under the given files/directories, sorted, deduped."""
+def collect_files(
+    paths: Sequence["str | Path"],
+    warnings: Optional[List[str]] = None,
+) -> List[Path]:
+    """Python files under the given files/directories, sorted, deduped.
+
+    A nonexistent path raises :class:`PathError` (the CLI turns it into
+    a clean exit-2 message); an explicitly named non-``.py`` file is
+    skipped with a warning instead of being parsed as Python.
+    """
     seen = {}
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
             candidates = sorted(path.rglob("*.py"))
-        else:
+        elif path.exists():
+            if path.suffix != ".py":
+                if warnings is not None:
+                    warnings.append(f"skipping non-Python file: {path}")
+                continue
             candidates = [path]
+        else:
+            raise PathError(f"path does not exist: {path}")
         for candidate in candidates:
             if any(part in _SKIP_DIR_NAMES for part in candidate.parts):
                 continue
@@ -62,13 +109,25 @@ def collect_files(paths: Sequence["str | Path"]) -> List[Path]:
 def select_rules(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    analyze: bool = False,
 ) -> List[Rule]:
-    """Registered rules filtered by explicit select/ignore id lists."""
+    """Registered rules filtered by explicit select/ignore id lists.
+
+    Analysis rules (RPL5xx) are excluded unless ``analyze`` is set, so
+    a plain lint run never pays for — or reports against — the
+    whole-program pass it did not build.
+    """
     rules = all_rules()
     known = {rule.rule_id for rule in rules}
     for requested in list(select or []) + list(ignore or []):
         if requested not in known:
             raise KeyError(requested)
+    if not analyze:
+        rules = [
+            rule
+            for rule in rules
+            if not getattr(rule, "requires_analysis", False)
+        ]
     if select:
         rules = [rule for rule in rules if rule.rule_id in set(select)]
     if ignore:
@@ -76,60 +135,179 @@ def select_rules(
     return rules
 
 
+def _syntax_violation(path: str, error: SyntaxError) -> Violation:
+    return Violation(
+        rule_id=SYNTAX_ERROR_ID,
+        rule_name="syntax-error",
+        path=path,
+        line=error.lineno or 1,
+        column=(error.offset or 1) - 1,
+        message=f"file does not parse: {error.msg}",
+    )
+
+
+def _parse_and_check_one(
+    payload: Tuple[str, Tuple[str, ...]],
+) -> Tuple[str, Optional[SourceModule], Optional[Violation], List[Violation]]:
+    """Worker unit: parse one file and run the per-module rules on it.
+
+    Runs in a pool process (rules are re-resolved by id from the
+    worker's own registry); also the shared serial path, so the two
+    modes cannot diverge.
+    """
+    path, rule_ids = payload
+    try:
+        module = SourceModule.parse(path)
+    except SyntaxError as error:
+        return path, None, _syntax_violation(path, error), []
+    violations: List[Violation] = []
+    for rule_id in rule_ids:
+        rule = get_rule(rule_id)
+        if isinstance(rule, ProjectRule):
+            continue
+        if not rule.applies_to(module):
+            continue
+        violations.extend(rule.check(module))
+    return path, module, None, violations
+
+
+def _run_per_module_rules(
+    files: List[Path], rule_ids: Tuple[str, ...], jobs: int
+) -> List[Tuple[str, Optional[SourceModule], Optional[Violation], List[Violation]]]:
+    payloads = [(str(path), rule_ids) for path in files]
+    if jobs <= 1 or len(files) < 2:
+        return [_parse_and_check_one(payload) for payload in payloads]
+    # Few large chunks keep per-task IPC overhead negligible while
+    # still giving every worker several chunks to balance across.
+    chunksize = max(1, len(files) // (jobs * 4))
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        # executor.map preserves input order, which is path-sorted —
+        # the merge is deterministic regardless of completion order.
+        return list(
+            pool.map(_parse_and_check_one, payloads, chunksize=chunksize)
+        )
+
+
+def _unused_suppression_violations(
+    modules: List[SourceModule],
+    executed_rule_ids: List[str],
+    full_rule_set: bool,
+) -> List[Violation]:
+    """RPL001: suppression comments that silenced nothing this run.
+
+    A bracketed suppression is reported only when every rule it names
+    actually executed (otherwise this run cannot know it is dead) or
+    when it names an id that does not exist at all.  A bare ``ignore``
+    is only judged on a full-rule-set run for the same reason.
+    """
+    rule = get_rule(UNUSED_SUPPRESSION_ID)
+    executed = set(executed_rule_ids)
+    known = {candidate.rule_id for candidate in all_rules()}
+    out: List[Violation] = []
+    for module in modules:
+        for line in sorted(module.suppressions):
+            if line in module.used_suppressions:
+                continue
+            ids = module.suppressions[line]
+            if SUPPRESS_ALL in ids:
+                if not full_rule_set:
+                    continue
+                detail = "bare `reprolint: ignore`"
+            else:
+                unknown = sorted(ids - known)
+                if not unknown and not (ids <= executed):
+                    continue  # a named rule did not run; can't judge
+                if unknown:
+                    detail = (
+                        f"unknown rule id(s) {', '.join(unknown)} in "
+                        "suppression"
+                    )
+                else:
+                    detail = f"suppression of {', '.join(sorted(ids))}"
+            out.append(
+                Violation(
+                    rule_id=rule.rule_id,
+                    rule_name=rule.name,
+                    path=module.path,
+                    line=line,
+                    column=0,
+                    message=(
+                        f"{detail} matches no finding on this line; "
+                        "remove the stale comment (or fix the rule id)"
+                    ),
+                )
+            )
+    return out
+
+
 def lint_paths(
     paths: Sequence["str | Path"],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    analyze: bool = False,
+    allow_unused_suppressions: bool = False,
 ) -> LintResult:
     """Lint files/directories; returns the full result (never raises on
     findings — the CLI turns them into the exit code)."""
-    rules = select_rules(select, ignore)
+    rules = select_rules(select, ignore, analyze=analyze)
     result = LintResult(rule_ids=[rule.rule_id for rule in rules])
+
+    files = collect_files(paths, warnings=result.warnings)
+    per_module_ids = tuple(
+        rule.rule_id for rule in rules if not isinstance(rule, ProjectRule)
+    )
 
     modules: List[SourceModule] = []
     raw_violations: List[tuple] = []  # (module or None, violation)
-    for path in collect_files(paths):
-        try:
-            module = SourceModule.parse(path)
-        except SyntaxError as error:
-            raw_violations.append(
-                (
-                    None,
-                    Violation(
-                        rule_id=SYNTAX_ERROR_ID,
-                        rule_name="syntax-error",
-                        path=str(path),
-                        line=error.lineno or 1,
-                        column=(error.offset or 1) - 1,
-                        message=f"file does not parse: {error.msg}",
-                    ),
-                )
-            )
+    for _path, module, syntax_error, found in _run_per_module_rules(
+        files, per_module_ids, jobs
+    ):
+        if syntax_error is not None:
+            raw_violations.append((None, syntax_error))
             continue
+        assert module is not None
         modules.append(module)
+        for violation in found:
+            raw_violations.append((module, violation))
     result.files_scanned = len(modules)
 
-    for module in modules:
-        for rule in rules:
-            if isinstance(rule, ProjectRule):
-                continue
-            if not rule.applies_to(module):
-                continue
-            for violation in rule.check(module):
-                raw_violations.append((module, violation))
-
     module_by_path = {module.path: module for module in modules}
+    result.modules_by_path = module_by_path
+    analysis = None
+    if analyze and any(isinstance(rule, AnalysisRule) for rule in rules):
+        from repro.devtools.reprolint.analysis import build_analysis
+
+        analysis = build_analysis(modules)
     for rule in rules:
-        if isinstance(rule, ProjectRule):
-            for violation in rule.check_project(modules):
-                raw_violations.append(
-                    (module_by_path.get(violation.path), violation)
-                )
+        if isinstance(rule, AnalysisRule):
+            if analysis is None:
+                continue
+            found = rule.check_program(analysis)
+        elif isinstance(rule, ProjectRule):
+            found = rule.check_project(modules)
+        else:
+            continue
+        for violation in found:
+            raw_violations.append(
+                (module_by_path.get(violation.path), violation)
+            )
 
     for module, violation in raw_violations:
         if module is not None and module.is_suppressed(violation):
             result.suppressed += 1
         else:
             result.violations.append(violation)
+
+    if not allow_unused_suppressions and any(
+        rule.rule_id == UNUSED_SUPPRESSION_ID for rule in rules
+    ):
+        full_rule_set = not select and not ignore and analyze
+        result.violations.extend(
+            _unused_suppression_violations(
+                modules, result.rule_ids, full_rule_set
+            )
+        )
+
     result.violations.sort(key=Violation.sort_key)
     return result

@@ -556,9 +556,9 @@ def _env_max_mb() -> float:
 # import, so a single process can never observe two different
 # environment-derived cache defaults (same pattern as the kernel
 # registry's REPRO_KERNEL_BACKEND).
-_ENV_CHOICE = os.environ.get(CACHE_ENV_VAR)  # reprolint: ignore[RPL102] import-time config read, sampled once
-_ENV_DIR = os.environ.get(CACHE_DIR_ENV_VAR)  # reprolint: ignore[RPL102] import-time config read, sampled once
-_ENV_MB = os.environ.get(CACHE_MB_ENV_VAR)  # reprolint: ignore[RPL102] import-time config read, sampled once
+_ENV_CHOICE = os.environ.get(CACHE_ENV_VAR)
+_ENV_DIR = os.environ.get(CACHE_DIR_ENV_VAR)
+_ENV_MB = os.environ.get(CACHE_MB_ENV_VAR)
 
 #: Explicit process-wide override installed by :func:`set_default_cache`.
 _PROCESS_CONFIG: Optional[CacheConfig] = None

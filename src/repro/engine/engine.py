@@ -185,7 +185,10 @@ class SolveEngine:
         merge_started = time.perf_counter()
         selected = set()
         for outcome in outcomes:  # already in component index order
-            selected |= outcome.classifiers
+            # ComponentOutcome rows carry wall-clock telemetry next to
+            # the classifiers; the classifier sets themselves come from
+            # the deterministic kernels and set-union merging commutes.
+            selected |= outcome.classifiers  # reprolint: sanitize
             bitspace = outcome.details.get("bitspace")
             telemetry.record_component(
                 outcome.size,

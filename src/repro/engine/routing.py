@@ -58,7 +58,7 @@ def solve_component_k2(
         # Forced singletons are already paid for; the WVC must see them
         # as free or it may buy a pair classifier redundantly.
         overlay = OverlayCost(cost)
-        # reprolint: ignore[RPL101] overlay.select is commutative — zeroing
+        # RPL101 suppressed below: overlay.select is commutative — zeroing
         # weights in any order yields the same overlay.
         for clf in forced:  # reprolint: ignore[RPL101]
             overlay.select(clf)

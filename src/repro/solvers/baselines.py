@@ -168,7 +168,7 @@ class LocalGreedySolver(Solver):
             # touching the selected classifiers' properties.
             touched_props = set().union(*best_cover.classifiers) if best_cover.classifiers else set()
             affected = set()
-            # reprolint: ignore[RPL101] set-union accumulation commutes.
+            # RPL101 suppressed below: set-union accumulation commutes.
             for prop in touched_props:  # reprolint: ignore[RPL101]
                 affected |= by_property.get(prop, set())
             for index in affected:
@@ -188,7 +188,7 @@ class LocalGreedySolver(Solver):
     @staticmethod
     def _covered(q: Query, selected: Set[Classifier]) -> bool:
         remaining = set(q)
-        # reprolint: ignore[RPL101] set-difference accumulation commutes;
+        # RPL101 suppressed below: set-difference accumulation commutes;
         # the early exit changes nothing observable.
         for clf in selected:  # reprolint: ignore[RPL101]
             if clf <= q:

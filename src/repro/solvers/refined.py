@@ -50,7 +50,7 @@ def refine_selection(
             if not clf <= q:
                 continue
             remaining = set(q)
-            # reprolint: ignore[RPL101] set-difference accumulation commutes.
+            # RPL101 suppressed below: set-difference accumulation commutes.
             for other in others:  # reprolint: ignore[RPL101]
                 if other <= q:
                     remaining -= other
@@ -72,7 +72,7 @@ def refine_selection(
             # Repair each broken query with the cheapest residual cover,
             # pricing already-selected classifiers (minus clf) at 0.
             overlay = OverlayCost(instance.cost)
-            # reprolint: ignore[RPL101] overlay.select commutes.
+            # RPL101 suppressed below: overlay.select commutes.
             for other in selected:  # reprolint: ignore[RPL101]
                 if other != clf:
                     overlay.select(other)

@@ -83,7 +83,7 @@ class ShortFirstSolver(Solver):
         if long_ is not None:
             # Classifiers bought for the short phase are free now.
             overlay = OverlayCost(instance.cost)
-            # reprolint: ignore[RPL101] overlay.select commutes.
+            # RPL101 suppressed below: overlay.select commutes.
             for clf in selected:  # reprolint: ignore[RPL101]
                 overlay.select(clf)
             residual = long_.with_cost(overlay, name=f"{instance.name}|residual")
