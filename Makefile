@@ -23,6 +23,7 @@ bench-save:
 	$(PYTHON) benchmarks/bench_bitspace.py --save BENCH_core.json
 	$(PYTHON) benchmarks/bench_resilience_overhead.py --save BENCH_resilience.json
 	$(PYTHON) benchmarks/bench_cache.py --save BENCH_cache.json
+	$(PYTHON) benchmarks/bench_setcover_sublinear.py --save BENCH_setcover.json
 
 experiments:
 	$(PYTHON) -m repro.experiments all

@@ -74,6 +74,10 @@ def _solver_kwargs(args: argparse.Namespace) -> dict:
         kwargs["dispatch_k2"] = True
     if getattr(args, "backend", None) is not None:
         kwargs["backend"] = args.backend
+    if getattr(args, "solver_seed", None) is not None:
+        kwargs["seed"] = args.solver_seed
+    if getattr(args, "sample_rate", None):
+        kwargs["sample_rates"] = tuple(args.sample_rate)
     policy = _resilience_policy(args)
     if policy is not None:
         kwargs["resilience"] = policy
@@ -109,6 +113,26 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "(array when available). Default: the REPRO_KERNEL_BACKEND "
         "environment variable, else pyjit. Output is bit-identical "
         "across backends",
+    )
+    parser.add_argument(
+        "--seed",
+        dest="solver_seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run seed for randomized solvers (mc3-sampled); the only "
+        "randomness source — identical seeds give bit-identical "
+        "solutions regardless of --jobs",
+    )
+    parser.add_argument(
+        "--sample-rate",
+        dest="sample_rate",
+        type=float,
+        action="append",
+        default=None,
+        metavar="R",
+        help="element-sampling rate for one round of the sampled greedy "
+        "(repeat the flag for a multi-round schedule; mc3-sampled only)",
     )
     from repro.engine.cache import CACHE_ENV_VAR, cache_choices
 

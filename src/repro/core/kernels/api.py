@@ -112,6 +112,10 @@ class KernelBackend(Protocol):
     * ``min_cover_dp`` — the single-query subset DP over query-local
       masks; ties break toward fewer sets, then earliest candidate
       order.
+    * ``sampled_gains`` — batch fresh-coverage counts
+      ``popcount(mask & ~covered)`` over sample-local member masks, the
+      gain-estimation primitive of the sampling-based sub-linear greedy
+      (exact integer counts, so backends are trivially bit-identical).
     """
 
     name: str
@@ -137,6 +141,9 @@ class KernelBackend(Protocol):
     ) -> MinCoverOutcome:
         ...
 
+    def sampled_gains(self, member_masks: Sequence[int], covered: int) -> List[int]:
+        ...
+
 
 def describe(backend: KernelBackend) -> Dict[str, object]:
     """Small introspection dict used by telemetry and the CLI."""
@@ -147,5 +154,6 @@ def describe(backend: KernelBackend) -> Dict[str, object]:
             "greedy_wsc",
             "bucket_greedy_wsc",
             "min_cover_dp",
+            "sampled_gains",
         ],
     }

@@ -554,6 +554,20 @@ def _greedy_upper_bound(full: int, usable: Sequence[Tuple[int, float]]) -> float
     return total
 
 
+def sampled_gains(member_masks: Sequence[int], covered: int) -> List[int]:
+    """Batch fresh-coverage counts over sample-local member masks.
+
+    ``gains[i] = popcount(member_masks[i] & ~covered)`` — the seeding
+    step of the sampling-based greedy's restricted sub-instance solve.
+    Counts are exact integers, so every backend is bit-identical by
+    construction.
+    """
+    if covered == 0:
+        return [mask.bit_count() for mask in member_masks]
+    uncovered = ~covered
+    return [(mask & uncovered).bit_count() for mask in member_masks]
+
+
 def min_cover_dp(full: int, usable: Sequence[Tuple[int, float]]) -> MinCoverOutcome:
     """Bound-pruned mask-native min-cover DP.
 
@@ -652,3 +666,6 @@ class PyJitBackend:
         self, full: int, usable: Sequence[Tuple[int, float]]
     ) -> MinCoverOutcome:
         return min_cover_dp(full, usable)
+
+    def sampled_gains(self, member_masks: Sequence[int], covered: int) -> List[int]:
+        return sampled_gains(member_masks, covered)

@@ -23,7 +23,19 @@ from repro.datasets.private import (
     private_like_category,
     private_like_short,
 )
-from repro.datasets.synthetic import synthetic, synthetic_k2
+from repro.datasets.scale import (
+    SCALE_TIERS,
+    LazyQueryLoad,
+    ScaleTierWorkload,
+    scale_tier_queries,
+    scale_tier_workload,
+)
+from repro.datasets.synthetic import (
+    SyntheticQueryStream,
+    synthetic,
+    synthetic_k2,
+    synthetic_query_stream,
+)
 from repro.exceptions import DatasetError
 
 _GENERATORS: Dict[str, Callable[..., MC3Instance]] = {
@@ -53,7 +65,14 @@ def make_dataset(name: str, **kwargs) -> MC3Instance:
 
 __all__ = [
     "CategoryQuerySampler",
+    "LazyQueryLoad",
+    "SCALE_TIERS",
+    "ScaleTierWorkload",
     "SubAdditiveHashCost",
+    "SyntheticQueryStream",
+    "scale_tier_queries",
+    "scale_tier_workload",
+    "synthetic_query_stream",
     "available_datasets",
     "bestbuy_like",
     "draw_lengths",

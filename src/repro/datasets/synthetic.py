@@ -16,13 +16,22 @@ own generation recipe, implemented directly:
 consider only classifiers of length at most k' < k"); the general-case
 benchmarks use ``k' = 3`` to keep single-process wall-clock sane and
 record that choice in EXPERIMENTS.md.
+
+Generation is exposed at two granularities: :class:`SyntheticQueryStream`
+(a restartable iterator/``__len__`` protocol that yields queries one at
+a time, for the streaming solver and the 1M–10M scale tiers of
+:mod:`repro.datasets.scale`) and :func:`synthetic` (the historical
+eager :class:`~repro.core.instance.MC3Instance` entry point, now a thin
+adapter that lets the instance constructor materialise the stream).
+Both produce bit-identical query sequences for the same parameters.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Set
+from hashlib import blake2b
+from typing import Iterator, Optional
 
 from repro.core.costs import HashCost
 from repro.core.instance import MC3Instance
@@ -42,6 +51,74 @@ def _draw_length(rng: random.Random, max_length: int) -> int:
             length += 1
         if length <= max_length:
             return length
+
+
+class SyntheticQueryStream:
+    """Restartable lazy view of the S dataset's query sequence.
+
+    Iterating yields the ``n`` distinct queries in generation order
+    without ever holding the query list: each ``__iter__`` call replays
+    the seeded generator from scratch (the paper's recipe is cheap, the
+    list is not).  Distinctness is enforced with a ledger of 64-bit
+    content digests of the canonically-sorted property labels — *not*
+    the builtin ``hash``, which varies across processes under
+    ``PYTHONHASHSEED`` — so the accept/reject decisions (and therefore
+    the sequence) match the historical eager generator draw for draw.
+    The digest ledger is the only O(n) state and it stores small ints,
+    roughly an order of magnitude lighter than the frozensets it
+    replaces.
+    """
+
+    def __init__(self, n: int, seed: int = 0, max_length: int = MAX_QUERY_LENGTH):
+        if n < 1:
+            raise DatasetError("n must be >= 1")
+        if max_length < 2:
+            raise DatasetError(
+                "max_length must be >= 2 (the paper draws lengths >= 2)"
+            )
+        self.n = n
+        self.seed = seed
+        self.max_length = max_length
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[Query]:
+        n = self.n
+        rng = random.Random(f"synthetic-{self.seed}-{n}-{self.max_length}")
+
+        # Property pool: n/t properties, t ~ U[2, sqrt(n)].  Guard
+        # against pools too small to hold n *distinct* queries (possible
+        # for small n or an unlucky large t): grow the pool until the
+        # number of length-2 combinations alone gives a comfortable 3x
+        # margin.
+        sqrt_n = max(2, int(math.isqrt(n)))
+        t = rng.uniform(2, sqrt_n)
+        pool_size = max(2, int(n / t))
+        while pool_size * (pool_size - 1) // 2 < 3 * n:
+            pool_size *= 2
+        pool = [f"p{i}" for i in range(pool_size)]
+
+        seen: set = set()
+        yielded = 0
+        while yielded < n:
+            length = _draw_length(rng, self.max_length)
+            q = frozenset(rng.sample(pool, length))
+            key = int.from_bytes(
+                blake2b(",".join(sorted(q)).encode("ascii"), digest_size=8).digest(),
+                "little",
+            )
+            if key not in seen:
+                seen.add(key)
+                yielded += 1
+                yield q
+
+
+def synthetic_query_stream(
+    n: int = 100_000, seed: int = 0, max_length: int = MAX_QUERY_LENGTH
+) -> SyntheticQueryStream:
+    """The S dataset's queries as a restartable lazy stream."""
+    return SyntheticQueryStream(n, seed=seed, max_length=max_length)
 
 
 def synthetic(
@@ -64,35 +141,12 @@ def synthetic(
     max_classifier_length:
         Optional bound k' on classifier length (Section 5.3).
     """
-    if n < 1:
-        raise DatasetError("n must be >= 1")
-    if max_length < 2:
-        raise DatasetError("max_length must be >= 2 (the paper draws lengths >= 2)")
-    rng = random.Random(f"synthetic-{seed}-{n}-{max_length}")
-
-    # Property pool: n/t properties, t ~ U[2, sqrt(n)].  Guard against
-    # pools too small to hold n *distinct* queries (possible for small n
-    # or an unlucky large t): grow the pool until the number of length-2
-    # combinations alone gives a comfortable 3x margin.
-    sqrt_n = max(2, int(math.isqrt(n)))
-    t = rng.uniform(2, sqrt_n)
-    pool_size = max(2, int(n / t))
-    while pool_size * (pool_size - 1) // 2 < 3 * n:
-        pool_size *= 2
-    pool = [f"p{i}" for i in range(pool_size)]
-
-    queries: List[Query] = []
-    seen: Set[Query] = set()
-    while len(queries) < n:
-        length = _draw_length(rng, max_length)
-        q = frozenset(rng.sample(pool, length))
-        if q not in seen:
-            seen.add(q)
-            queries.append(q)
-
+    stream = SyntheticQueryStream(n, seed=seed, max_length=max_length)
     cost = HashCost(COST_LOW, COST_HIGH, seed=seed)
+    # MC3Instance canonicalises its query iterable into a tuple — the
+    # thin list adapter that keeps every eager caller working unchanged.
     return MC3Instance(
-        queries,
+        stream,
         cost,
         max_classifier_length=max_classifier_length,
         name=f"S(n={n},seed={seed},maxlen={max_length})",

@@ -190,6 +190,7 @@ class SolveEngine:
             # the deterministic kernels and set-union merging commutes.
             selected |= outcome.classifiers  # reprolint: sanitize
             bitspace = outcome.details.get("bitspace")
+            gap = outcome.details.get("gap")
             telemetry.record_component(
                 outcome.size,
                 outcome.seconds,
@@ -197,6 +198,7 @@ class SolveEngine:
                 bitspace if isinstance(bitspace, dict) else None,
                 rung=outcome.rung,
                 backend=outcome.backend,
+                gap=gap if isinstance(gap, dict) else None,
             )
         solution = prep.finalize(selected)
         if resilience_report is not None and not resilience_report.clean:

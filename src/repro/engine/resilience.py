@@ -13,8 +13,9 @@ fallback, Section 5) an explicit runtime mechanism:
 * **fallback chains** — an ordered list of rungs; when an attempt
   fails (error, timeout, worker death, infeasible output) the next
   rung solves the *same* component.  Rungs are named entries of
-  :data:`FALLBACK_RUNGS` (``"greedy"``, ``"primal-dual"``,
-  ``"k2-exact"``, ``"query-oriented"``) or any object satisfying the
+  :data:`FALLBACK_RUNGS` (``"greedy"``, ``"sampled"``,
+  ``"primal-dual"``, ``"k2-exact"``, ``"query-oriented"``) or any
+  object satisfying the
   :class:`~repro.engine.component.SolvesComponents` contract;
 * **worker-crash recovery** — a ``BrokenProcessPool`` re-runs the
   surviving in-flight tasks one at a time in isolated single-worker
@@ -75,7 +76,7 @@ from repro.exceptions import (
     UncoverableQueryError,
 )
 from repro.reductions import mc3_to_wsc
-from repro.setcover import greedy_wsc, primal_dual_wsc
+from repro.setcover import derive_seed, greedy_wsc, primal_dual_wsc, sampled_greedy_wsc
 
 # ----------------------------------------------------------------------
 # Fallback rungs
@@ -93,6 +94,36 @@ class GreedyWSCRung:
         space = PropertySpace.from_queries(component.queries)
         wsc = mc3_to_wsc(component, space=space)
         wsc_solution = greedy_wsc(wsc)
+        return {wsc.set_label(set_id) for set_id in wsc_solution.set_ids}, {
+            "rung": self.name
+        }
+
+
+class SampledGreedyRung:
+    """Sampling-based sub-linear greedy — the large-component rung.
+
+    Useful ahead of ``greedy`` in a chain serving huge components: the
+    sampled solve touches a fraction of the universe per round, so it
+    finishes inside budgets the exact-gain greedy would blow.  Small
+    components take its built-in exactness fallback, so the rung is
+    safe anywhere in a chain.  The per-component seed is derived from
+    the rung seed and the component's queries (content digest), keeping
+    chain outputs bit-identical across ``jobs`` and hash seeds.
+    """
+
+    name = "sampled"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def solve_component(
+        self, component: MC3Instance
+    ) -> Tuple[Set[Classifier], Dict[str, object]]:
+        space = PropertySpace.from_queries(component.queries)
+        wsc = mc3_to_wsc(component, space=space)
+        wsc_solution = sampled_greedy_wsc(
+            wsc, seed=derive_seed(self.seed, component.queries)
+        )
         return {wsc.set_label(set_id) for set_id in wsc_solution.set_ids}, {
             "rung": self.name
         }
@@ -160,6 +191,7 @@ class QueryOrientedRung:
 #: Named rung registry for CLI/config declarations (``--fallback``).
 FALLBACK_RUNGS = {
     "greedy": GreedyWSCRung,
+    "sampled": SampledGreedyRung,
     "primal-dual": PrimalDualRung,
     "k2-exact": K2ExactRung,
     "query-oriented": QueryOrientedRung,

@@ -54,6 +54,8 @@ class EngineTelemetry:
         "bitspace_properties",
         "bitspace_elements",
         "bitspace_sets",
+        "gap_ratios_vs_greedy",
+        "gap_ratios_vs_exact",
     )
 
     def __init__(self, jobs: int, mode: str, backend: Optional[str] = None):
@@ -84,6 +86,11 @@ class EngineTelemetry:
         self.bitspace_properties: List[int] = []
         self.bitspace_elements: List[int] = []
         self.bitspace_sets: List[int] = []
+        # Approximation-gap probes: components whose solver also ran
+        # reference algorithms (greedy, and exact where tractable) and
+        # reported cost ratios in a "gap" details entry.
+        self.gap_ratios_vs_greedy: List[float] = []
+        self.gap_ratios_vs_exact: List[float] = []
 
     def record_component(
         self,
@@ -93,6 +100,7 @@ class EngineTelemetry:
         bitspace: Optional[Dict[str, int]] = None,
         rung: Optional[str] = None,
         backend: Optional[str] = None,
+        gap: Optional[Dict[str, float]] = None,
     ) -> None:
         self.component_sizes.append(size)
         self.component_seconds.append(seconds)
@@ -106,6 +114,37 @@ class EngineTelemetry:
             self.bitspace_properties.append(int(bitspace.get("properties", 0)))
             self.bitspace_elements.append(int(bitspace.get("elements", 0)))
             self.bitspace_sets.append(int(bitspace.get("sets", 0)))
+        if gap is not None:
+            ratio = gap.get("ratio_vs_greedy")
+            if ratio is not None:
+                self.gap_ratios_vs_greedy.append(float(ratio))
+            ratio = gap.get("ratio_vs_exact")
+            if ratio is not None:
+                self.gap_ratios_vs_exact.append(float(ratio))
+
+    def approx_gap_summary(self) -> Optional[Dict[str, object]]:
+        """Aggregate the per-component approximation-gap probes, or
+        ``None`` when no component reported one.
+
+        ``max``/``mean`` ratios answer the operational question the
+        probes exist for: how far off the sampled answer was from the
+        exact-gain greedy (and, on tiny components, from the optimum)
+        on the slices where both were computed.
+        """
+        if not self.gap_ratios_vs_greedy and not self.gap_ratios_vs_exact:
+            return None
+        summary: Dict[str, object] = {
+            "components_probed": len(self.gap_ratios_vs_greedy),
+        }
+        if self.gap_ratios_vs_greedy:
+            ratios = self.gap_ratios_vs_greedy
+            summary["max_ratio_vs_greedy"] = max(ratios)
+            summary["mean_ratio_vs_greedy"] = sum(ratios) / len(ratios)
+        if self.gap_ratios_vs_exact:
+            ratios = self.gap_ratios_vs_exact
+            summary["components_probed_exact"] = len(ratios)
+            summary["max_ratio_vs_exact"] = max(ratios)
+        return summary
 
     def bitspace_summary(self) -> Dict[str, int]:
         """Aggregate interning footprint across mask-path components.
@@ -138,6 +177,9 @@ class EngineTelemetry:
             "backends": dict(self.backends),
             "bitspace": self.bitspace_summary(),
         }
+        approx_gap = self.approx_gap_summary()
+        if approx_gap is not None:
+            rendered["approx_gap"] = approx_gap
         if self.rungs:
             rendered["rungs"] = dict(self.rungs)
         if self.resilience is not None:

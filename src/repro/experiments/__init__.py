@@ -6,6 +6,7 @@ from repro.experiments.ablations import (
     preprocessing_steps,
     redundancy_cost,
     short_first_threshold,
+    sublinear_solvers,
     wsc_methods,
 )
 from repro.experiments.categories import category_comparison
@@ -45,6 +46,7 @@ __all__ = [
     "redundancy_cost",
     "render_table",
     "short_first_threshold",
+    "sublinear_solvers",
     "subset_order",
     "sweep",
     "table_1",

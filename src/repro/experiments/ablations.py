@@ -12,6 +12,8 @@ and our implementation decisions:
   paper's best-of inside Algorithm 3.
 * :func:`short_first_threshold` — where Short-First overtakes plain
   MC3[G] as the share of short queries grows.
+* :func:`sublinear_solvers` — sampled and streaming backends vs the
+  materializing MC3[G] pipeline (cost and runtime on one load).
 """
 
 from __future__ import annotations
@@ -163,4 +165,30 @@ def short_first_threshold(
         "short share",
         "construction cost",
         [Series("Short-First", sf_points), Series("MC3[G]", general_points)],
+    )
+
+
+def sublinear_solvers(
+    n: int = 2000, seed: int = 0
+) -> FigureResult:
+    """Sub-linear backends vs Algorithm 3: cost and runtime of the
+    sampling-based greedy and the one-pass streaming solver against the
+    materializing MC3[G] pipeline on the same synthetic load."""
+    instance = synthetic(n, seed=seed)
+    solvers = ["mc3-general", "mc3-sampled", "mc3-streaming"]
+    cost_points: List[Tuple[float, float]] = []
+    time_points: List[Tuple[float, float]] = []
+    for index, name in enumerate(solvers):
+        kwargs = {"seed": seed} if name == "mc3-sampled" else {}
+        result = make_solver(name, **kwargs).solve(instance)
+        cost_points.append((index, result.cost))
+        time_points.append((index, result.elapsed_seconds))
+    labels = ", ".join(f"{i}={s}" for i, s in enumerate(solvers))
+    return FigureResult(
+        "Ablation A6",
+        f"Sub-linear solvers vs MC3[G] (synthetic n={n})",
+        "solver",
+        "cost / seconds",
+        [Series("cost", cost_points), Series("runtime", time_points)],
+        notes=f"x axis: {labels}",
     )

@@ -29,6 +29,7 @@ from repro.experiments.ablations import (
     preprocessing_steps,
     redundancy_cost,
     short_first_threshold,
+    sublinear_solvers,
     wsc_methods,
 )
 from repro.experiments.categories import category_comparison
@@ -66,6 +67,9 @@ EXPERIMENTS: Dict[str, Callable[[int, bool], object]] = {
     "ablation-wsc": lambda seed, full: wsc_methods(seed=seed),
     "ablation-shortfirst": lambda seed, full: short_first_threshold(seed=seed),
     "ablation-robust": lambda seed, full: redundancy_cost(seed=seed),
+    "ablation-sublinear": lambda seed, full: sublinear_solvers(
+        n=5000 if full else 2000, seed=seed
+    ),
     "endtoend": lambda seed, full: budget_recall_curve(
         n=1000 if full else 300, seed=seed
     ),

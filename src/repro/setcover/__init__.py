@@ -25,6 +25,13 @@ from repro.setcover.lp import (
     lp_rounding_wsc,
 )
 from repro.setcover.primal_dual import primal_dual_wsc
+from repro.setcover.sampled_greedy import (
+    DEFAULT_EXACT_THRESHOLD,
+    DEFAULT_SAMPLE_RATES,
+    derive_seed,
+    sampled_greedy_wsc,
+)
+from repro.setcover.streaming import streaming_greedy_wsc
 
 
 def solve_wsc(
@@ -32,6 +39,7 @@ def solve_wsc(
     method: str = "best_of",
     lp_size_limit: Optional[int] = DEFAULT_SIZE_LIMIT,
     prune: bool = False,
+    seed: int = 0,
 ) -> WSCSolution:
     """Solve a WSC instance with the named method.
 
@@ -53,6 +61,12 @@ def solve_wsc(
         Combinatorial branch-and-bound optimum (small instances only).
     ``exact_lp``
         LP-based branch-and-bound optimum (hundreds of sets).
+    ``sampled``
+        Sampling-based sub-linear greedy [Indyk et al.]; exact-greedy
+        fallback below :data:`DEFAULT_EXACT_THRESHOLD` elements.
+        ``seed`` drives its (only) randomness.
+    ``streaming``
+        Few-pass streaming greedy; O(solution) working memory.
 
     ``prune`` applies the redundancy post-pass to the LP-rounding and
     primal–dual outputs (extension beyond the paper; guarantee-safe).
@@ -61,6 +75,10 @@ def solve_wsc(
         return greedy_wsc(instance)
     if method == "bucket_greedy":
         return bucket_greedy_wsc(instance)
+    if method == "sampled":
+        return sampled_greedy_wsc(instance, seed=seed)
+    if method == "streaming":
+        return streaming_greedy_wsc(instance)
     if method == "lp":
         return lp_rounding_wsc(instance, prune=prune)
     if method == "primal_dual":
@@ -80,11 +98,16 @@ def solve_wsc(
 
 
 __all__ = [
+    "DEFAULT_EXACT_THRESHOLD",
     "DEFAULT_NODE_LIMIT",
+    "DEFAULT_SAMPLE_RATES",
     "DEFAULT_SIZE_LIMIT",
     "WSCInstance",
     "WSCSolution",
     "bucket_greedy_wsc",
+    "derive_seed",
+    "sampled_greedy_wsc",
+    "streaming_greedy_wsc",
     "exact_multicover",
     "exact_wsc",
     "exact_wsc_lp",

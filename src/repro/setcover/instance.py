@@ -148,12 +148,19 @@ class WSCInstance:
         of ``members & ~covered`` instead of a per-element scan.
         """
         if self._member_masks is None:
+            # Build each mask in a byte buffer and convert once: repeated
+            # ``mask |= 1 << e`` on a python int is O(universe/64) per
+            # member (the big int is copied every time), which turns
+            # scale-tier universes into minutes; setting bits in a
+            # bytearray is O(1) per member and ``int.from_bytes`` is a
+            # single C pass.  The resulting masks are identical.
+            nbytes = (len(self._element_labels) + 7) >> 3
             masks: List[int] = []
             for members in self._set_members:
-                mask = 0
+                buf = bytearray(nbytes)
                 for element_id in members:
-                    mask |= 1 << element_id
-                masks.append(mask)
+                    buf[element_id >> 3] |= 1 << (element_id & 7)
+                masks.append(int.from_bytes(buf, "little"))
             self._member_masks = masks
         return self._member_masks
 

@@ -1,0 +1,110 @@
+"""One-pass / few-pass streaming greedy for Weighted Set Cover.
+
+The streaming model here is element-arrival: the instance is consumed
+as a stream of ``(element_id, candidate set ids)`` items and the state
+carried between items is the current selection only — O(solution size),
+never O(universe).  That is the regime the ROADMAP's 10M-query tiers
+need: the materialise-then-solve pipeline must first build O(n·f)
+incidence lists and masks, which a modest memory cap kills, while this
+path completes under the same cap (``benchmarks/bench_setcover_sublinear``
+demonstrates exactly that pairing).
+
+Algorithm, pass 1 (the one-pass core): an element already covered by a
+previously selected set is skipped; otherwise its cheapest candidate
+(ties to the lowest set id) is bought.  Every decision is local to the
+item, so the pass is deterministic with no randomness at all.  Worst
+case the pass pays each element's cheapest candidate, which is bounded
+by ``Δ · OPT`` (each optimal set is charged at most once per member);
+no better bound is possible for a deterministic one-pass algorithm —
+this is the memory-bound baseline, not a quality contender.
+
+Pass 2 (optional, default on): re-stream and assign each element to its
+cheapest selected candidate, then drop every selected set that ended up
+with no assignments.  Removals only lower the cost and feasibility is
+preserved by construction (each element keeps its assigned set); a
+second pass over the stream is cheap compared with re-materialising.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import SolverError, UncoverableQueryError
+from repro.setcover.instance import WSCSolution
+
+
+def _items(system) -> Iterator[Tuple[int, Iterable[int]]]:
+    """The element stream of a set system.
+
+    Prefers a lazy ``iter_items()`` (the scale-tier workloads compute
+    candidates arithmetically, keeping the pass O(1) memory per item);
+    falls back to indexed ``sets_containing`` access for concrete
+    instances.
+    """
+    iter_items = getattr(system, "iter_items", None)
+    if iter_items is not None:
+        return iter_items()
+    return (
+        (element, system.sets_containing(element))
+        for element in range(system.universe_size)
+    )
+
+
+def streaming_greedy_wsc(system, passes: int = 2) -> WSCSolution:
+    """Solve a set system with the streaming greedy.
+
+    ``passes=1`` is the strict one-pass algorithm; ``passes=2`` (the
+    default) adds the prune pass, which re-streams once and drops
+    selected sets no element relies on.  State between items is the
+    selection alone, so peak memory is O(solution size) on lazy systems.
+    """
+    if passes not in (1, 2):
+        raise SolverError(f"streaming greedy supports 1 or 2 passes, got {passes}")
+
+    # Pass 1: buy the cheapest candidate of every uncovered element.
+    # ``selected`` keys are set ids in selection order (dict preserves
+    # insertion order); values are the costs so the prune pass never
+    # needs cost lookups beyond the selection.
+    selected: Dict[int, float] = {}
+    for element, candidates in _items(system):
+        best_key: Optional[Tuple[float, int]] = None
+        covered = False
+        for set_id in candidates:
+            if set_id in selected:
+                covered = True
+                break
+            key = (system.set_cost(set_id), set_id)
+            if best_key is None or key < best_key:
+                best_key = key
+        if covered:
+            continue
+        if best_key is None:
+            raise UncoverableQueryError(
+                frozenset([element]),
+                f"WSC element {element!r} belongs to no set",
+            )
+        selected[best_key[1]] = best_key[0]
+
+    if passes == 2 and selected:
+        # Prune pass: each element is assigned to its cheapest selected
+        # candidate (ties to the lowest id); unassigned sets are dropped.
+        used: Set[int] = set()
+        for element, candidates in _items(system):
+            best_key = None
+            for set_id in candidates:
+                if set_id not in selected:
+                    continue
+                key = (selected[set_id], set_id)
+                if best_key is None or key < best_key:
+                    best_key = key
+            if best_key is None:
+                raise SolverError(
+                    f"streaming prune pass found element {element!r} uncovered"
+                )
+            used.add(best_key[1])
+        selected = {
+            set_id: cost for set_id, cost in selected.items() if set_id in used
+        }
+
+    order: List[int] = list(selected)
+    return WSCSolution(order, sum(selected.values()))

@@ -28,11 +28,15 @@ from repro.solvers.general import GeneralSolver
 from repro.solvers.k2 import K2Solver
 from repro.solvers.refined import RefinedSolver
 from repro.solvers.robust import RobustSolver
+from repro.solvers.sampled import SampledSolver
 from repro.solvers.short_first import ShortFirstSolver
+from repro.solvers.streaming import StreamingSolver
 
 _FACTORIES: Dict[str, Callable[..., Solver]] = {
     "mc3-k2": K2Solver,
     "mc3-general": GeneralSolver,
+    "mc3-sampled": SampledSolver,
+    "mc3-streaming": StreamingSolver,
     "short-first": ShortFirstSolver,
     "property-oriented": PropertyOrientedSolver,
     "query-oriented": QueryOrientedSolver,

@@ -18,6 +18,8 @@ from tests.conftest import random_instance
 SOLVERS = [
     "mc3-k2",
     "mc3-general",
+    "mc3-sampled",
+    "mc3-streaming",
     "short-first",
     "local-greedy",
     "exact",
@@ -39,6 +41,16 @@ class TestSolverDeterminism:
         a = make_solver("mc3-general").solve(instance)
         b = make_solver("mc3-general").solve(instance)
         assert a.solution.classifiers == b.solution.classifiers
+
+    def test_sampled_bit_identical_across_jobs(self):
+        """The sampled solver's randomness is a pure function of (seed,
+        component content), so process-pool dispatch must not change a
+        single classifier relative to the sequential run."""
+        instance = synthetic(300, seed=5)
+        sequential = make_solver("mc3-sampled", seed=11, jobs=1).solve(instance)
+        pooled = make_solver("mc3-sampled", seed=11, jobs=4).solve(instance)
+        assert sequential.solution.classifiers == pooled.solution.classifiers
+        assert sequential.cost == pooled.cost
 
 
 class TestPreprocessDeterminism:

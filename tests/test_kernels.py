@@ -84,7 +84,7 @@ class TestRegistry:
     def test_get_backend_is_memoized(self):
         assert get_backend("pyjit") is get_backend("pyjit")
 
-    def test_describe_lists_all_four_kernels(self):
+    def test_describe_lists_all_kernels(self):
         info = describe(get_backend("pyjit"))
         assert info["name"] == "pyjit"
         assert info["kernels"] == [
@@ -92,6 +92,7 @@ class TestRegistry:
             "greedy_wsc",
             "bucket_greedy_wsc",
             "min_cover_dp",
+            "sampled_gains",
         ]
 
     def test_use_backend_scopes_and_nests(self):
@@ -243,6 +244,24 @@ class TestCrossBackendIdentity:
                 for idx in chosen:
                     union |= usable[idx][0]
                 assert union == full
+
+    @given(
+        seed=st.integers(0, 10_000),
+        bits=st.integers(1, 80),
+        num_masks=st.integers(0, 12),
+        covered_none=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sampled_gains_identical(self, seed, bits, num_masks, covered_none):
+        rng = random.Random(f"kernels-gains-{seed}")
+        full = (1 << bits) - 1
+        masks = [rng.randint(1, full) for _ in range(num_masks)]
+        covered = 0 if covered_none else rng.randint(0, full)
+        pure = get_backend("pyjit").sampled_gains(masks, covered)
+        arr = get_backend("array").sampled_gains(masks, covered)
+        assert pure == arr
+        # Exact-count oracle: fresh coverage is a popcount over ~covered.
+        assert pure == [bin(mask & ~covered & full).count("1") for mask in masks]
 
     def test_min_cover_dp_trivial_and_unreachable(self):
         for name in available_backends():
