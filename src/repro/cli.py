@@ -379,6 +379,39 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the planner daemon (see :mod:`repro.service`) over a cost
+    table, serving JSON-lines plan requests on a unix socket or TCP
+    port until SIGTERM (graceful drain) or SIGINT."""
+    import asyncio
+
+    from repro.datasets import load_cost_table_csv
+    from repro.service import PlannerService, ServiceConfig
+
+    if args.socket is None and args.port is None:
+        print("error: serve needs --socket PATH or --port N", file=sys.stderr)
+        return 2
+    cost = load_cost_table_csv(args.costs)
+    config = ServiceConfig(
+        solver_name=args.solver,
+        solver_kwargs=_solver_kwargs(args),
+        queue_depth=args.queue_depth,
+        batch_window=args.batch_window,
+        default_deadline_seconds=args.deadline,
+        journal_path=args.journal,
+        journal_fsync=not args.no_fsync,
+    )
+    service = PlannerService(cost, config=config)
+    where = args.socket or f"{args.host}:{args.port}"
+    print(f"planner daemon listening on {where}", file=sys.stderr)
+    asyncio.run(
+        service.serve_forever(
+            socket_path=args.socket, host=args.host, port=args.port
+        )
+    )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or clear the on-disk component-solution cache."""
     from repro.engine.cache import DiskSolutionCache, default_cache_dir
@@ -472,6 +505,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_engine_flags(compare)
     compare.set_defaults(fn=_cmd_compare)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the planner daemon (JSON-lines over unix socket or TCP)",
+    )
+    serve.add_argument("costs", help="cost table CSV: classifier,cost")
+    serve.add_argument("--socket", default=None, help="unix socket path")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None)
+    serve.add_argument("--solver", default="mc3-general", choices=available_solvers())
+    serve.add_argument(
+        "--journal", default=None,
+        help="write-ahead workload journal path (enables crash recovery)",
+    )
+    serve.add_argument(
+        "--no-fsync", dest="no_fsync", action="store_true",
+        help="skip fsync after journal appends (faster, weaker durability)",
+    )
+    serve.add_argument(
+        "--queue-depth", dest="queue_depth", type=int, default=64,
+        help="admission queue capacity; beyond it requests get queue-full",
+    )
+    serve.add_argument(
+        "--batch-window", dest="batch_window", type=int, default=8,
+        help="max requests drained per batch (coalescing window)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="default per-request deadline in seconds",
+    )
+    _add_engine_flags(serve)
+    serve.set_defaults(fn=_cmd_serve)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk component-solution cache"

@@ -34,6 +34,12 @@ across processes and interpreters regardless of ``PYTHONHASHSEED`` —
 exactly the property that lets a forked worker and the parent agree on
 the schedule.  An explicit ``plan`` mapping overrides the rate-based
 schedule for precise test scenarios.
+
+:class:`ServiceChaos` extends the same discipline one layer up, to the
+planner daemon (:mod:`repro.service`): deterministic ``kill -9`` and
+stall faults at the daemon's batch-processing seams, plus journal
+tail-damage helpers, so crash-recovery equivalence is testable in CI
+with real process deaths.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
@@ -191,3 +198,93 @@ class ChaosRung:
             corrupted: Dict[str, object] = {"chaos": "infeasible"}
             return set(), corrupted
         return classifiers, details
+
+
+# ----------------------------------------------------------------------
+# Service-level chaos (planner daemon)
+# ----------------------------------------------------------------------
+
+#: Daemon seams where service chaos can strike: around the journal
+#: append (before = admitted-but-unjournaled, after = journaled-but-
+#: unapplied) and after the planner applied the batch.
+SERVICE_SEAMS = ("pre-journal", "post-journal", "post-apply")
+
+#: Recognised service fault modes.  ``"kill"`` is a real ``SIGKILL`` to
+#: the daemon's own process — no atexit handlers, no flush, the honest
+#: crash the journal recovery contract is tested against.  ``"stall"``
+#: sleeps inside the worker seam, long enough to trip request deadlines.
+SERVICE_CHAOS_MODES = ("kill", "stall")
+
+
+@dataclass(frozen=True)
+class ServiceChaos:
+    """Deterministic fault schedule over the daemon's batch seams.
+
+    Decisions hash ``(seed, seam, seq)`` with SHA-256 — same rationale
+    as :class:`ChaosInjector`: the schedule must be identical across
+    processes and hash seeds, so a drill driver can predict exactly
+    which admitted batch kills the daemon.  ``plan`` pins specific
+    ``(seam, seq)`` keys to a mode (or ``None`` for clean), overriding
+    the rates — e.g. ``{("post-journal", 3): "kill"}`` is "die after
+    durably admitting batch 3, before applying it".
+    """
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.05
+    plan: Mapping[Tuple[str, int], Optional[str]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kill_rate + self.stall_rate > 1.0 + 1e-12:
+            raise SolverError("service chaos rates must sum to <= 1")
+        for (seam, _seq), mode in self.plan.items():
+            if seam not in SERVICE_SEAMS:
+                raise SolverError(
+                    f"unknown service seam {seam!r} (known: {SERVICE_SEAMS})"
+                )
+            if mode is not None and mode not in SERVICE_CHAOS_MODES:
+                raise SolverError(
+                    f"unknown service chaos mode {mode!r} "
+                    f"(known: {SERVICE_CHAOS_MODES})"
+                )
+
+    def decision(self, seam: str, seq: int) -> Optional[str]:
+        """The scheduled mode for one (seam, batch-seq) key, or ``None``."""
+        key = (seam, seq)
+        if key in self.plan:
+            return self.plan[key]
+        value = _unit_interval(self.seed, seq, f"service:{seam}", 0)
+        if value < self.kill_rate:
+            return "kill"
+        if value < self.kill_rate + self.stall_rate:
+            return "stall"
+        return None
+
+    def strike(self, seam: str, seq: int) -> None:
+        """Apply the scheduled fault at one seam crossing (maybe a no-op)."""
+        mode = self.decision(seam, seq)
+        if mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif mode == "stall":
+            _stall(self.stall_seconds)
+
+
+def truncate_journal_tail(path: str, nbytes: int) -> int:
+    """Chop ``nbytes`` off the end of a journal file (simulates a torn
+    final write); returns the new size.  Chopping more than the file
+    holds leaves it empty."""
+    size = os.path.getsize(path)
+    new_size = max(0, size - max(0, nbytes))
+    with open(path, "rb+") as handle:
+        handle.truncate(new_size)
+    return new_size
+
+
+def corrupt_journal_tail(path: str, garbage: bytes = b'{"v":9,"x":1}\tdeadbeefdeadbeef\n') -> int:
+    """Append a well-formed-looking but invalid record (bad checksum /
+    foreign version) to a journal; returns the appended byte count.
+    Recovery must drop exactly this tail."""
+    with open(path, "ab") as handle:
+        handle.write(garbage)
+    return len(garbage)

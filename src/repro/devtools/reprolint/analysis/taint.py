@@ -119,6 +119,7 @@ class TaintFinding(NamedTuple):
     """One sink reached by tainted data, for the RPL5xx rules."""
 
     kind: str  # solve-return | solution-ctor | fingerprint-arg | content-token
+    #          | journal-append | planner-state
     function_key: str
     module: SourceModule
     node: ast.AST
@@ -707,6 +708,14 @@ class _FunctionPass:
             kind = "fingerprint-arg"
         elif terminal in _SOLUTION_CTORS:
             kind = "solution-ctor"
+        elif terminal == "append_batch":
+            # The daemon's write-ahead journal: a tainted value in a
+            # record would replay differently than it ran live.
+            kind = "journal-append"
+        elif terminal == "add_batch":
+            # IncrementalPlanner state: what the journal promises to
+            # reproduce; taint here breaks recovery equivalence.
+            kind = "planner-state"
         else:
             return
         hits = BOTTOM

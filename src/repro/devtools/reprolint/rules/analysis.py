@@ -136,6 +136,37 @@ class CacheKeyTaintRule(_TaintSinkRule):
 
 
 @register
+class ServiceStateTaintRule(_TaintSinkRule):
+    rule_id = "RPL505"
+    name = "tainted-service-state"
+    summary = (
+        "no nondeterministic taint may reach a journal append_batch() "
+        "or a planner add_batch() argument"
+    )
+    rationale = (
+        "The daemon's recovery contract is that replaying the journal "
+        "through a fresh IncrementalPlanner reproduces the live "
+        "planner's state bit-identically.  Both halves are sinks: a "
+        "tainted value written via append_batch() replays differently "
+        "than it ran live, and a tainted value applied via add_batch() "
+        "makes live state the journal cannot reproduce.  Clock-derived "
+        "values that legitimately cross (the resolved deadline budget) "
+        "are sanitized exactly once, at the line where they are "
+        "resolved and recorded, with `# reprolint: sanitize`."
+    )
+    kinds = {
+        "journal-append": (
+            "nondeterministic taint reaches a journal append_batch() "
+            "argument in {fn}"
+        ),
+        "planner-state": (
+            "nondeterministic taint reaches a planner add_batch() "
+            "argument in {fn}"
+        ),
+    }
+
+
+@register
 class KernelPurityRule(AnalysisRule):
     rule_id = "RPL503"
     name = "kernel-backend-purity"

@@ -16,7 +16,12 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.devtools.reprolint.model import SourceModule, Violation
 from repro.devtools.reprolint.registry import Rule, register
-from repro.devtools.reprolint.scopes import in_core, in_determinism_scope, in_src
+from repro.devtools.reprolint.scopes import (
+    in_core,
+    in_determinism_scope,
+    in_service_scope,
+    in_src,
+)
 
 # ----------------------------------------------------------------------
 # RPL101 — iteration over unordered sets
@@ -374,15 +379,19 @@ class NondeterministicReadRule(Rule):
     rule_id = "RPL102"
     name = "nondeterministic-read"
     summary = (
-        "no random/time/os.environ reads inside solve_component kernels "
-        "or core/ modules"
+        "no random/time/os.environ reads inside solve_component kernels, "
+        "core/ modules, or service/ modules (outside annotated seams)"
     )
     rationale = (
         "solve_component runs under the engine, possibly in a process "
         "pool (PR 1); a wall-clock, RNG, or environment read inside it "
         "(or inside core/ kernels) makes outputs depend on scheduling "
         "and host state.  Timing belongs to Solver.solve, configuration "
-        "to constructor parameters."
+        "to constructor parameters.  The planner daemon (service/) "
+        "carries the same ban because journal replay must reproduce "
+        "live state bit-identically: wall-clock reads are allowed only "
+        "at the deadline and journal-timestamp seams, each annotated "
+        "with a justified per-line suppression."
     )
 
     def applies_to(self, module: SourceModule) -> bool:
@@ -391,6 +400,8 @@ class NondeterministicReadRule(Rule):
     def check(self, module: SourceModule) -> Iterable[Violation]:
         if in_core(module.scope_key):
             yield from self._check_core_module(module)
+        if in_service_scope(module.scope_key):
+            yield from self._check_service_module(module)
         yield from self._check_solve_component_kernels(module)
 
     def _check_core_module(self, module: SourceModule) -> Iterator[Violation]:
@@ -409,6 +420,31 @@ class NondeterministicReadRule(Rule):
                     self,
                     node,
                     f"read of {used} in a core/ kernel module",
+                )
+
+    def _check_service_module(self, module: SourceModule) -> Iterator[Violation]:
+        """Service-scope leg: module-wide, like core/, but the message
+        names the sanctioned escape hatch (annotated clock seams) so a
+        violation reads as "route through the seam", not "delete the
+        feature"."""
+        for node in ast.walk(module.tree):
+            imported = _nondet_import(node)
+            if imported is not None:
+                yield module.violation(
+                    self,
+                    node,
+                    f"import of nondeterministic module {imported!r} in a "
+                    "service/ module; clock access belongs to the "
+                    "annotated deadline/journal-timestamp seams",
+                )
+            used = _nondet_use(node, set())
+            if used is not None:
+                yield module.violation(
+                    self,
+                    node,
+                    f"read of {used} in a service/ module; journal replay "
+                    "must reproduce live state — route clock reads "
+                    "through an annotated seam",
                 )
 
     def _check_solve_component_kernels(

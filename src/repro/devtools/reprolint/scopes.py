@@ -116,6 +116,15 @@ def in_resilience_scope(scope_key: str) -> bool:
     return rel.startswith("engine/") or rel == "devtools/chaos.py"
 
 
+def in_service_scope(scope_key: str) -> bool:
+    """The planner-daemon package (RPL102 service leg, RPL505): journal
+    replay must reproduce live state bit-identically, so ambient
+    nondeterminism is banned except at the annotated deadline/journal-
+    timestamp seams."""
+    rel = repro_relative(scope_key)
+    return rel is not None and rel.startswith("service/")
+
+
 def in_solvers_dir(scope_key: str) -> bool:
     rel = repro_relative(scope_key)
     return rel is not None and rel.startswith("solvers/")

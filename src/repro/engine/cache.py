@@ -171,16 +171,26 @@ class SolutionCache(Protocol):
         ...
 
 
+# Both built-in backends additionally expose ``invalidate(fingerprint)``
+# — called by the engine when a fetched blob fails to decode, so a
+# corrupt entry is unlinked (and counted as a ``corrupt_eviction``)
+# instead of being re-read, re-failed, and re-charged against the byte
+# budget on every lookup.  It is deliberately *not* part of the
+# :class:`SolutionCache` protocol: bespoke stores handed in by tests or
+# embedders keep working, and the engine calls it via ``getattr``.
+
+
 class _StatCounters:
     """Shared lifetime counters for both backends."""
 
-    __slots__ = ("hits", "misses", "inserts", "evictions")
+    __slots__ = ("hits", "misses", "inserts", "evictions", "corrupt_evictions")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.inserts = 0
         self.evictions = 0
+        self.corrupt_evictions = 0
 
 
 class MemorySolutionCache:
@@ -235,6 +245,16 @@ class MemorySolutionCache:
                 self._counters.evictions += 1
             return True
 
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one corrupt entry (see module comment); True if present."""
+        with self._lock:
+            blob = self._entries.pop(fingerprint, None)
+            if blob is None:
+                return False
+            self._bytes -= len(blob)
+            self._counters.corrupt_evictions += 1
+            return True
+
     def stats(self) -> Dict[str, object]:
         with self._lock:
             return {
@@ -247,6 +267,7 @@ class MemorySolutionCache:
                 "misses": self._counters.misses,
                 "inserts": self._counters.inserts,
                 "evictions": self._counters.evictions,
+                "corrupt_evictions": self._counters.corrupt_evictions,
             }
 
     def clear(self) -> int:
@@ -377,6 +398,24 @@ class DiskSolutionCache:
             self._counters.evictions += 1
         self._bytes = recount
 
+    def invalidate(self, fingerprint: str) -> bool:
+        """Unlink one corrupt entry file (see module comment).
+
+        Keeps the running byte tally honest, so the dead bytes stop
+        counting against the budget; True when a file was removed.
+        """
+        path = self._path(fingerprint)
+        with self._lock:
+            try:
+                size = os.path.getsize(path)
+                os.unlink(path)
+            except OSError:
+                return False
+            if self._bytes is not None:
+                self._bytes = max(0, self._bytes - size)
+            self._counters.corrupt_evictions += 1
+            return True
+
     def stats(self) -> Dict[str, object]:
         paths = self._entry_paths()
         total = 0
@@ -396,6 +435,7 @@ class DiskSolutionCache:
                 "misses": self._counters.misses,
                 "inserts": self._counters.inserts,
                 "evictions": self._counters.evictions,
+                "corrupt_evictions": self._counters.corrupt_evictions,
             }
 
     def clear(self) -> int:

@@ -288,6 +288,14 @@ class SolveEngine:
             )
             blob = cache.get(fingerprint)
             decoded = decode_entry(blob, fingerprint) if blob is not None else None
+            if blob is not None and decoded is None:
+                # The stored bytes are corrupt (damaged file, foreign
+                # entry version): evict them so the store stops
+                # re-reading and re-failing the same entry — and stops
+                # charging it against the byte budget — on every lookup.
+                invalidate = getattr(cache, "invalidate", None)
+                if invalidate is not None:
+                    invalidate(fingerprint)
             elapsed = time.perf_counter() - started
             stats.lookup_seconds += elapsed
             if decoded is None:

@@ -220,8 +220,10 @@ def resolve_rung(spec) -> SolvesComponents:
 # Failure records and the partial solution
 # ----------------------------------------------------------------------
 
-#: Failure kinds recorded per attempt.
-FAILURE_KINDS = ("error", "timeout", "crash", "infeasible", "uncoverable")
+#: Failure kinds recorded per attempt.  ``"breaker-open"`` is
+#: synthesized (no solve ran): the rung's circuit breaker skipped the
+#: attempt and the chain advanced straight to the next rung.
+FAILURE_KINDS = ("error", "timeout", "crash", "infeasible", "uncoverable", "breaker-open")
 
 
 @dataclass(frozen=True)
@@ -335,9 +337,11 @@ class ResiliencePolicy:
         Extra attempts of the *same* rung after a failure (timeouts are
         retried only with ``retry_on_timeout``, since a deterministic
         solver that overran once will overrun again).
-    backoff_base_seconds / backoff_growth:
+    backoff_base_seconds / backoff_growth / backoff_max_seconds:
         Deterministic backoff before the *n*-th retry:
-        ``base * growth**(n-1)`` seconds.  No RNG jitter by design.
+        ``base * growth**(n-1)`` seconds, capped at
+        ``backoff_max_seconds`` when one is set (``None``, the default,
+        preserves the unbounded schedule).  No RNG jitter by design.
     on_error:
         What chain exhaustion means: ``"raise"`` (default) raises
         :class:`~repro.exceptions.FallbackExhaustedError`; ``"degrade"``
@@ -364,6 +368,16 @@ class ResiliencePolicy:
         ``wrap(rung, index, attempt)`` method.  Wraps every chain
         attempt; the degrade-of-last-resort runs unwrapped so the
         safety net itself stays deterministic.
+    breakers:
+        Optional per-rung circuit-breaker board (see
+        :class:`repro.service.breaker.BreakerBoard` — duck-typed as
+        ``allow(rung_name) -> bool`` / ``record(rung_name, ok)`` so the
+        engine layer never imports the service).  When a rung's circuit
+        is open, its attempts are skipped with a synthesized
+        ``"breaker-open"`` failure and the chain falls through to the
+        next rung immediately; every attempt outcome (success or
+        failure) is reported back to the board.  The board outlives
+        individual runs — rung health accumulates across requests.
     """
 
     timeout_seconds: Optional[float] = None
@@ -371,6 +385,7 @@ class ResiliencePolicy:
     retry_on_timeout: bool = False
     backoff_base_seconds: float = 0.0
     backoff_growth: float = 2.0
+    backoff_max_seconds: Optional[float] = None
     on_error: str = "raise"
     fallback: Sequence[object] = ()
     route_fallback: Mapping[str, Sequence[object]] = field(default_factory=dict)
@@ -378,6 +393,7 @@ class ResiliencePolicy:
     timeout_grace_seconds: float = 0.25
     poll_interval_seconds: float = 0.02
     chaos: Optional[object] = None
+    breakers: Optional[object] = None
 
     def __post_init__(self):
         if self.on_error not in ON_ERROR_POLICIES:
@@ -388,6 +404,8 @@ class ResiliencePolicy:
             raise SolverError("timeout_seconds must be positive (or None)")
         if self.max_retries < 0:
             raise SolverError("max_retries must be >= 0")
+        if self.backoff_max_seconds is not None and self.backoff_max_seconds < 0:
+            raise SolverError("backoff_max_seconds must be >= 0 (or None)")
         self.fallback = tuple(self.fallback)
         self.route_fallback = {
             key: tuple(value) for key, value in dict(self.route_fallback).items()
@@ -397,7 +415,10 @@ class ResiliencePolicy:
         """Deterministic sleep before the ``retry_number``-th retry (1-based)."""
         if self.backoff_base_seconds <= 0:
             return 0.0
-        return self.backoff_base_seconds * self.backoff_growth ** (retry_number - 1)
+        delay = self.backoff_base_seconds * self.backoff_growth ** (retry_number - 1)
+        if self.backoff_max_seconds is not None:
+            return min(delay, self.backoff_max_seconds)
+        return delay
 
     def chain_for(
         self, primary: SolvesComponents, route: Optional[str]
@@ -566,9 +587,16 @@ def _advance(
     state.failures.append(failure)
     report.record(failure)
     if failure.kind == "uncoverable":
-        # A data property, not a fault: no rung can repair it.
+        # A data property, not a fault: no rung can repair it (and the
+        # breaker board never hears about it — the rung is healthy).
         return "exhausted"
-    retryable = failure.kind != "timeout" or policy.retry_on_timeout
+    if policy.breakers is not None and failure.kind != "breaker-open":
+        policy.breakers.record(state.rung.name, False)
+    # A skipped-by-breaker attempt never retries: no solve ran, so a
+    # retry of the same rung would just be skipped again.
+    retryable = failure.kind != "breaker-open" and (
+        failure.kind != "timeout" or policy.retry_on_timeout
+    )
     if retryable and state.attempt < policy.max_retries:
         state.attempt += 1
         report.retries += 1
@@ -643,12 +671,39 @@ def _exhausted_outcome(
     )
 
 
+def _breaker_gate(
+    state: _ChainState, policy: ResiliencePolicy, report: ResilienceReport
+) -> Optional[ComponentOutcome]:
+    """Skip chain rungs whose circuit is open before attempting them.
+
+    Walks the chain past every rung the breaker board refuses (each
+    skip is a synthesized ``"breaker-open"`` failure, so the chain
+    history stays complete); returns the exhausted outcome when the
+    whole remaining chain is gated off, else ``None`` (the current
+    rung may run).  With no board configured this is a no-op.
+    """
+    if policy.breakers is None:
+        return None
+    while not policy.breakers.allow(state.rung.name):
+        failure = state.failure(
+            kind="breaker-open",
+            error_type="CircuitBreakerOpen",
+            message=f"rung {state.rung.name!r} skipped: circuit breaker is open",
+        )
+        if _advance(state, failure, policy, report) == "exhausted":
+            return _exhausted_outcome(state, policy, report)
+    return None
+
+
 def _success_outcome(
     state: _ChainState,
     classifiers: FrozenSet[Classifier],
     details: Dict[str, object],
     seconds: float,
+    policy: ResiliencePolicy,
 ) -> ComponentOutcome:
+    if policy.breakers is not None:
+        policy.breakers.record(state.rung.name, True)
     if state.failures:
         details = dict(details)
         details["resilience"] = _resolution_details(state, state.rung.name)
@@ -715,6 +770,9 @@ def _solve_chain_inprocess(
 ) -> ComponentOutcome:
     """Walk one component's chain to completion in the calling process."""
     while True:
+        gated = _breaker_gate(state, policy, report)
+        if gated is not None:
+            return gated
         _sleep_until(state.not_before)
         try:
             _, classifiers, details, seconds, _, _, _ = _solve_one(
@@ -728,7 +786,7 @@ def _solve_chain_inprocess(
             continue
         rejected = _adjudicate(state, classifiers, details, seconds, policy)
         if rejected is None:
-            return _success_outcome(state, classifiers, details, seconds)
+            return _success_outcome(state, classifiers, details, seconds, policy)
         action = _advance(state, rejected, policy, report)
         if action == "exhausted":
             return _exhausted_outcome(state, policy, report)
@@ -829,7 +887,9 @@ def _rerun_isolated(
         mini.shutdown(wait=False)
     rejected = _adjudicate(state, classifiers, details, seconds, policy)
     if rejected is None:
-        outcomes[state.index] = _success_outcome(state, classifiers, details, seconds)
+        outcomes[state.index] = _success_outcome(
+            state, classifiers, details, seconds, policy
+        )
         return
     action = _advance(state, rejected, policy, report)
     if action == "exhausted":
@@ -879,6 +939,11 @@ def _run_pool_resilient(
                 if state.not_before > now:
                     queue.append(state)  # backoff pending; try again later
                     continue
+                gated = _breaker_gate(state, policy, report)
+                if gated is not None:
+                    outcomes[state.index] = gated
+                    progressed = True
+                    continue
                 future = pool.submit(_solve_one, state.attempt_task(policy))
                 active[future] = state
                 submit_times[future] = time.monotonic()
@@ -915,7 +980,7 @@ def _run_pool_resilient(
                 rejected = _adjudicate(state, classifiers, details, seconds, policy)
                 if rejected is None:
                     outcomes[state.index] = _success_outcome(
-                        state, classifiers, details, seconds
+                        state, classifiers, details, seconds, policy
                     )
                 else:
                     handle_action(state, _advance(state, rejected, policy, report))

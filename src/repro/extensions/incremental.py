@@ -15,12 +15,19 @@ of incrementality.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.costs import CostModel, OverlayCost
 from repro.core.coverage import verify_cover
 from repro.core.instance import MC3Instance
-from repro.core.properties import Classifier, Query, query as make_query
+from repro.core.properties import (
+    Classifier,
+    Query,
+    classifier_sort_key,
+    query as make_query,
+)
 from repro.core.solution import Solution, SolverResult
 from repro.exceptions import InvalidInstanceError
 from repro.solvers import make_solver
@@ -93,6 +100,9 @@ class IncrementalPlanner:
         self._query_set: Set[Query] = set()
         self._batches: List[BatchOutcome] = []
         self._total_cost = 0.0
+        self._digest_chain = hashlib.blake2b(
+            b"mc3-incremental-state/v2", digest_size=16
+        ).digest()
 
     # ------------------------------------------------------------------
     # State
@@ -117,16 +127,64 @@ class IncrementalPlanner:
     def batches(self) -> Tuple[BatchOutcome, ...]:
         return tuple(self._batches)
 
+    def state_digest(self) -> str:
+        """Content digest of the planner's workload state.
+
+        A blake2b hash chain folded forward by :meth:`add_batch`: each
+        link hashes the previous link together with that batch's
+        canonical outcome — the fresh queries in arrival order, the new
+        classifiers in canonical order, and the exact incremental cost
+        (float bit pattern, not a rounded rendering).  Two planners
+        with equal digests went through bit-identical batch-outcome
+        histories, which is precisely what the journal-replay
+        equivalence contract promises to reproduce; transient health
+        state (breakers, caches) is deliberately outside the digest.
+        Chaining makes reads O(1) — the planner daemon stamps every
+        reply with the digest, so it must not rescan the whole
+        accumulated state per request — and the sorted content keeps it
+        stable across processes and ``PYTHONHASHSEED`` values.
+        """
+        return self._digest_chain.hex()
+
+    def _fold_digest(self, outcome: BatchOutcome) -> None:
+        """Advance the state-digest hash chain by one batch outcome."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self._digest_chain)
+        digest.update(
+            struct.pack(
+                "<IId",
+                outcome.batch_index,
+                len(outcome.new_queries),
+                outcome.incremental_cost,
+            )
+        )
+        for q in outcome.new_queries:
+            digest.update(",".join(sorted(q)).encode("utf-8") + b"\x00")
+        digest.update(struct.pack("<I", len(outcome.new_classifiers)))
+        for clf in sorted(outcome.new_classifiers, key=classifier_sort_key):
+            digest.update(",".join(sorted(clf)).encode("utf-8") + b"\x00")
+        self._digest_chain = digest.digest()
+
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
 
-    def add_batch(self, queries: Iterable[object]) -> BatchOutcome:
+    def add_batch(
+        self,
+        queries: Iterable[object],
+        solver_overrides: Optional[Dict[str, object]] = None,
+    ) -> BatchOutcome:
         """Plan classifiers for a new batch of queries.
 
         Already-seen queries are ignored; already-built classifiers are
         free for the residual solve.  Returns the batch outcome (empty
         batch ⇒ zero-cost outcome).
+
+        ``solver_overrides`` layers per-batch solver kwargs over the
+        planner's defaults for this batch only — the planner daemon uses
+        it to thread a request-scoped :class:`~repro.engine.resilience.ResiliencePolicy`
+        (deadline-derived budget, breaker board) into the residual
+        solve without perturbing the planner's configuration.
         """
         fresh: List[Query] = []
         for spec in queries:
@@ -139,6 +197,7 @@ class IncrementalPlanner:
         if not fresh:
             outcome = BatchOutcome(index, (), 0.0, frozenset(), None)
             self._batches.append(outcome)
+            self._fold_digest(outcome)
             return outcome
 
         overlay = OverlayCost(self.cost)
@@ -150,7 +209,10 @@ class IncrementalPlanner:
             max_classifier_length=self.max_classifier_length,
             name=f"batch{index}",
         )
-        solver = make_solver(self.solver_name, **self.solver_kwargs)
+        kwargs = self.solver_kwargs
+        if solver_overrides:
+            kwargs = {**kwargs, **solver_overrides}
+        solver = make_solver(self.solver_name, **kwargs)
         result = solver.solve(residual)
 
         new_classifiers = frozenset(result.solution.classifiers) - self._built
@@ -159,6 +221,7 @@ class IncrementalPlanner:
         self._total_cost += incremental_cost
         outcome = BatchOutcome(index, tuple(fresh), incremental_cost, new_classifiers, result)
         self._batches.append(outcome)
+        self._fold_digest(outcome)
         return outcome
 
     def verify(self) -> None:

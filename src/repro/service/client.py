@@ -1,0 +1,106 @@
+"""Clients for the planner daemon.
+
+Two front doors:
+
+* :class:`~repro.service.daemon.PlannerClient` (re-exported here) — the
+  in-process async client tests use; it shares the daemon's
+  ``handle_request`` path so every admission/deadline/shedding behavior
+  applies, minus the socket.
+* :class:`SocketPlannerClient` — a small **synchronous** JSON-lines
+  client over a unix socket or TCP, used by the chaos drill and the CLI
+  to talk to a daemon in another process.  Synchronous on purpose: the
+  drill wants simple blocking semantics ("this recv raised — the daemon
+  is dead") without an event loop of its own.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Optional, Sequence
+
+from repro.service import protocol
+from repro.service.daemon import PlannerClient
+
+__all__ = ["PlannerClient", "SocketPlannerClient"]
+
+
+class SocketPlannerClient:
+    """Blocking JSON-lines client for an out-of-process daemon.
+
+    A connection error mid-request surfaces as the usual ``OSError``
+    family — deliberately not wrapped, because the chaos drill's whole
+    point is distinguishing "daemon replied with a typed error" from
+    "daemon vanished".
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: Optional[float] = 30.0,
+    ):
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        elif port is not None:
+            self._sock = socket.create_connection(
+                (host or "127.0.0.1", port), timeout=timeout
+            )
+        else:
+            raise protocol.BadRequestError(
+                "SocketPlannerClient needs a socket_path or a port"
+            )
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SocketPlannerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def request(self, obj: Dict[str, object]) -> Dict[str, object]:
+        """Send one request, block for its reply, raise typed errors."""
+        self._sock.sendall(protocol.encode_message(obj))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return protocol.raise_error_reply(protocol.decode_message(line))
+
+    def plan(
+        self,
+        queries: Sequence[object],
+        deadline_seconds: Optional[float] = None,
+    ) -> Dict[str, object]:
+        obj: Dict[str, object] = {
+            "op": "plan",
+            "id": self._request_id(),
+            "queries": [
+                spec if isinstance(spec, str) else sorted(spec)
+                for spec in queries
+            ],
+        }
+        if deadline_seconds is not None:
+            obj["deadline_seconds"] = deadline_seconds
+        return self.request(obj)
+
+    def stats(self) -> Dict[str, object]:
+        return self.request({"op": "stats", "id": self._request_id()})
+
+    def ping(self) -> Dict[str, object]:
+        return self.request({"op": "ping", "id": self._request_id()})
+
+    def drain(self) -> Dict[str, object]:
+        return self.request({"op": "drain", "id": self._request_id()})

@@ -1,0 +1,188 @@
+"""JSON-lines wire protocol and typed errors for the planner service.
+
+One request per line, one reply per line; payloads are canonical JSON
+(sorted keys) so replies are byte-stable for a given content.  The
+protocol is deliberately tiny — the service's value is in the daemon's
+robustness machinery, not in a rich RPC surface.
+
+Requests::
+
+    {"op": "plan",  "id": 7, "queries": [["p1","p2"], "p3 p4"],
+     "deadline_seconds": 2.5}          # deadline optional
+    {"op": "stats", "id": 8}
+    {"op": "ping",  "id": 9}
+    {"op": "drain", "id": 10}          # admin: begin graceful drain
+
+Replies::
+
+    {"id": 7, "ok": true,  "result": {...}}
+    {"id": 7, "ok": false, "error": {"code": "queue-full", "message": "..."}}
+
+Every failure reply carries one of :data:`ERROR_CODES`; clients raise
+the matching :class:`PlannerServiceError` subclass so callers can catch
+overload (``queue-full``), deadline misses, and shutdown races as
+distinct types — the "typed errors, never hangs" contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+
+#: Wire format version, echoed in stats replies.
+PROTOCOL_VERSION = 1
+
+#: Request operations the daemon accepts.
+REQUEST_OPS = ("plan", "stats", "ping", "drain")
+
+#: Failure codes a reply may carry.
+ERROR_CODES = (
+    "bad-request",
+    "queue-full",
+    "deadline-exceeded",
+    "shutting-down",
+    "internal",
+)
+
+
+class PlannerServiceError(ReproError):
+    """Base of every typed service failure; ``code`` is the wire code."""
+
+    code = "internal"
+
+
+class BadRequestError(PlannerServiceError):
+    """Malformed request line, unknown op, or invalid payload field."""
+
+    code = "bad-request"
+
+
+class QueueFullError(PlannerServiceError):
+    """Load shed: the admission queue is at capacity."""
+
+    code = "queue-full"
+
+
+class DeadlineExceededError(PlannerServiceError):
+    """The request's deadline passed before a reply was produced."""
+
+    code = "deadline-exceeded"
+
+
+class ShuttingDownError(PlannerServiceError):
+    """The daemon is draining and admits no new work."""
+
+    code = "shutting-down"
+
+
+class InternalServiceError(PlannerServiceError):
+    """An unexpected failure inside the daemon (bug surface, not policy)."""
+
+    code = "internal"
+
+
+_ERROR_TYPES = {
+    cls.code: cls
+    for cls in (
+        BadRequestError,
+        QueueFullError,
+        DeadlineExceededError,
+        ShuttingDownError,
+        InternalServiceError,
+    )
+}
+
+
+def error_for(code: str, message: str) -> PlannerServiceError:
+    """The typed exception for a wire failure code (unknown → internal)."""
+    return _ERROR_TYPES.get(code, InternalServiceError)(message)
+
+
+def encode_message(obj: Dict[str, object]) -> bytes:
+    """One protocol message to its wire line (canonical JSON + LF)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, object]:
+    """One wire line back to a message dict.
+
+    Raises :class:`BadRequestError` on undecodable bytes — the caller
+    (daemon or client) converts that into its side's failure path.
+    """
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise BadRequestError(f"undecodable message line: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise BadRequestError("message must be a JSON object")
+    return obj
+
+
+def ok_reply(request_id: object, result: Dict[str, object]) -> Dict[str, object]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_reply(
+    request_id: object, code: str, message: str
+) -> Dict[str, object]:
+    if code not in ERROR_CODES:
+        code = "internal"
+    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
+
+
+def is_error_reply(reply: Dict[str, object]) -> bool:
+    return not reply.get("ok", False)
+
+
+def raise_error_reply(reply: Dict[str, object]) -> Dict[str, object]:
+    """Return the reply's result, raising the typed error on failure."""
+    if reply.get("ok", False):
+        result = reply.get("result")
+        return result if isinstance(result, dict) else {}
+    error = reply.get("error")
+    if not isinstance(error, dict):
+        raise InternalServiceError("malformed error reply (no error object)")
+    raise error_for(
+        str(error.get("code", "internal")), str(error.get("message", ""))
+    )
+
+
+def parse_request(obj: Dict[str, object]) -> Tuple[str, object]:
+    """Validate the envelope; returns ``(op, request_id)``."""
+    op = obj.get("op")
+    if op not in REQUEST_OPS:
+        known = ", ".join(REQUEST_OPS)
+        raise BadRequestError(f"unknown op {op!r} (known: {known})")
+    return op, obj.get("id")
+
+
+def parse_plan_payload(
+    obj: Dict[str, object],
+) -> Tuple[List[object], Optional[float]]:
+    """Extract and validate a plan request's queries and deadline.
+
+    Query specs pass through untouched (strings or property lists —
+    :func:`repro.core.properties.query` canonicalizes them at apply
+    time); only their container shape is validated here.
+    """
+    queries = obj.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise BadRequestError("plan request needs a non-empty 'queries' list")
+    for spec in queries:
+        if isinstance(spec, str):
+            continue
+        if isinstance(spec, list) and all(isinstance(p, str) for p in spec):
+            continue
+        raise BadRequestError(
+            "each query must be a string or a list of property strings"
+        )
+    deadline = obj.get("deadline_seconds")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) or deadline <= 0:
+            raise BadRequestError("deadline_seconds must be a positive number")
+        deadline = float(deadline)
+    return list(queries), deadline

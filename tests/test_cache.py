@@ -281,6 +281,24 @@ class TestMemoryStore:
         assert store.clear() == 1
         assert store.get("fp") is None
 
+    def test_invalidate_drops_entry_and_counts(self):
+        store = MemorySolutionCache(max_bytes=10)
+        store.put("fp1", b"aaaaaa")
+        assert store.invalidate("fp1") is True
+        assert store.get("fp1") is None
+        assert store.stats()["corrupt_evictions"] == 1
+        # The dead bytes stop counting against the budget: both of
+        # these now fit where they would have evicted each other.
+        store.put("fp2", b"bbbb")
+        store.put("fp3", b"cccc")
+        assert store.get("fp2") == b"bbbb"
+        assert store.get("fp3") == b"cccc"
+
+    def test_invalidate_missing_entry_is_a_noop(self):
+        store = MemorySolutionCache()
+        assert store.invalidate("absent") is False
+        assert store.stats()["corrupt_evictions"] == 0
+
 
 class TestDiskStore:
     def test_roundtrip_and_sharding(self, tmp_path):
@@ -301,6 +319,32 @@ class TestDiskStore:
         warm = make_solver("mc3-general", cache=store).solve(example11)
         plain = make_solver("mc3-general").solve(example11)
         assert outcome_of(warm) == outcome_of(plain)
+
+    def test_corrupt_entry_is_unlinked_and_counted(self, tmp_path, example11):
+        store = DiskSolutionCache(str(tmp_path))
+        make_solver("mc3-general", cache=store).solve(example11)
+        paths = sorted(tmp_path.rglob("*.json"))
+        assert paths
+        victim = paths[0]
+        victim.write_text("{not json")
+        before = victim.read_text()
+        make_solver("mc3-general", cache=store).solve(example11)
+        # The engine evicted the corrupt file on lookup and then
+        # re-inserted a fresh entry for the re-solved component.
+        assert store.stats()["corrupt_evictions"] == 1
+        assert victim.exists() and victim.read_text() != before
+        # A third run is a pure hit: nothing left to evict.
+        make_solver("mc3-general", cache=store).solve(example11)
+        assert store.stats()["corrupt_evictions"] == 1
+
+    def test_invalidate_unlinks_file_and_counts(self, tmp_path):
+        store = DiskSolutionCache(str(tmp_path))
+        store.put("aa11", b"payload")
+        assert store.invalidate("aa11") is True
+        assert not (tmp_path / "aa" / "aa11.json").exists()
+        assert store.stats()["corrupt_evictions"] == 1
+        assert store.invalidate("aa11") is False
+        assert store.stats()["corrupt_evictions"] == 1
 
     def test_byte_budget_evicts_oldest(self, tmp_path):
         store = DiskSolutionCache(str(tmp_path), max_bytes=64)

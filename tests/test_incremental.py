@@ -1,8 +1,16 @@
 """Tests for the incremental planner extension."""
 
+import os
+import subprocess
+import sys
+import tempfile
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import TableCost, UniformCost
+from repro.core.costs import HashCost
 from repro.exceptions import InvalidInstanceError
 from repro.extensions import IncrementalPlanner
 from repro.solvers import ExactSolver
@@ -84,3 +92,117 @@ class TestRegret:
         planner = planner_with(UniformCost(1.0), max_classifier_length=1)
         planner.add_batch(["a b c"])
         assert all(len(clf) == 1 for clf in planner.built_classifiers)
+
+
+# ----------------------------------------------------------------------
+# State digest + journal-replay equivalence (the service's recovery
+# contract lives or dies on these properties)
+# ----------------------------------------------------------------------
+
+_PROPS = st.sampled_from([f"p{i}" for i in range(8)])
+_QUERY = st.frozensets(_PROPS, min_size=1, max_size=3)
+_BATCHES = st.lists(
+    st.lists(_QUERY, min_size=0, max_size=4), min_size=1, max_size=5
+)
+
+_HASHSEED_SCRIPT = """
+import sys
+from repro.core.costs import HashCost
+from repro.extensions import IncrementalPlanner
+
+batches = [
+    [frozenset({"p1", "p2"}), frozenset({"p3"})],
+    [frozenset({"p2", "p4"})],
+    [],
+    [frozenset({"p1"}), frozenset({"p4", "p5", "p6"})],
+]
+planner = IncrementalPlanner(HashCost(seed=9))
+for batch in batches:
+    planner.add_batch(batch)
+sys.stdout.write(planner.state_digest())
+"""
+
+
+class TestStateDigest:
+    def feed(self, batches):
+        planner = planner_with(HashCost(seed=7))
+        for batch in batches:
+            planner.add_batch(batch)
+        return planner
+
+    @settings(max_examples=40, deadline=None)
+    @given(_BATCHES)
+    def test_add_batch_is_order_stable(self, batches):
+        """Same journal-ordered batch sequence ⇒ bit-identical state."""
+        a, b = self.feed(batches), self.feed(batches)
+        assert a.state_digest() == b.state_digest()
+        assert a.built_classifiers == b.built_classifiers
+        assert a.total_cost == b.total_cost
+
+    @settings(max_examples=40, deadline=None)
+    @given(_BATCHES)
+    def test_journal_replay_reproduces_state(self, batches):
+        """Round-tripping every batch through the on-disk journal format
+        and replaying reproduces built_classifiers/total_cost exactly."""
+        from repro.service.journal import WorkloadJournal, read_journal
+
+        live = self.feed(batches)
+        with tempfile.TemporaryDirectory(prefix="mc3-journal-") as workdir:
+            path = os.path.join(workdir, "w.journal")
+            with WorkloadJournal(path, fsync=False) as journal:
+                for batch in batches:
+                    journal.append_batch(batch)
+            records = read_journal(path).records
+        assert len(records) == len(batches)
+        replayed = self.feed([list(r.queries) for r in records])
+        assert replayed.state_digest() == live.state_digest()
+        assert replayed.built_classifiers == live.built_classifiers
+        assert replayed.total_cost == live.total_cost
+
+    def test_digest_sensitive_to_state(self):
+        base = self.feed([[frozenset({"p1", "p2"})]])
+        more = self.feed([[frozenset({"p1", "p2"})], [frozenset({"p3"})]])
+        reordered = self.feed([[frozenset({"p3"})], [frozenset({"p1", "p2"})]])
+        assert base.state_digest() != more.state_digest()
+        assert more.state_digest() != reordered.state_digest()
+
+    def test_digest_stable_across_hash_seeds(self):
+        """The digest is process-portable: subprocesses with different
+        PYTHONHASHSEED values agree with this process bit-for-bit."""
+        expected = None
+        for seed in ("0", "1", "20407"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            digest = subprocess.run(
+                [sys.executable, "-c", _HASHSEED_SCRIPT],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout
+            assert len(digest) == 32
+            expected = expected or digest
+            assert digest == expected
+        planner = IncrementalPlanner(HashCost(seed=9))
+        for batch in [
+            [frozenset({"p1", "p2"}), frozenset({"p3"})],
+            [frozenset({"p2", "p4"})],
+            [],
+            [frozenset({"p1"}), frozenset({"p4", "p5", "p6"})],
+        ]:
+            planner.add_batch(batch)
+        assert planner.state_digest() == expected
+
+    def test_solver_overrides_apply_to_one_batch_only(self):
+        from repro.engine import ResiliencePolicy
+
+        planner = planner_with(HashCost(seed=2))
+        planner.add_batch(
+            [frozenset({"p1", "p2"})],
+            solver_overrides={
+                "resilience": ResiliencePolicy(on_error="degrade")
+            },
+        )
+        # The override must not leak into the planner's stored kwargs.
+        assert "resilience" not in planner.solver_kwargs
+        planner.add_batch([frozenset({"p3"})])
+        planner.verify()

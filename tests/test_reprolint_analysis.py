@@ -553,6 +553,107 @@ def test_rpl504_ignores_randomness_off_the_solver_path(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# RPL505: taint reaching service state (journal append / planner apply)
+# ----------------------------------------------------------------------
+
+SERVICE_STATE_TEMPLATE = """
+    import time  # reprolint: ignore[RPL102]
+
+    def _resolve_budget():
+        return time.monotonic()  # reprolint: ignore[RPL102]
+
+    def journal_write(journal, batch):
+        stamp = _resolve_budget(){annotation}
+        journal.append_batch([batch, stamp])
+
+    def apply_batch(planner, batch):
+        stamp = _resolve_budget(){annotation}
+        planner.add_batch([batch, stamp])
+    """
+
+
+def test_rpl505_flags_both_recovery_sinks(tmp_path):
+    """Clock taint crossing a helper call before landing in an
+    append_batch() or add_batch() argument fires once per sink, with
+    the origin named."""
+    write_module(
+        tmp_path,
+        "src/repro/service/state.py",
+        SERVICE_STATE_TEMPLATE.format(annotation=""),
+    )
+    result = lint_paths([tmp_path], select=["RPL505"], analyze=True)
+    assert rule_ids(result) == {"RPL505"}
+    messages = sorted(v.message for v in result.violations)
+    assert len(messages) == 2
+    assert "journal append_batch" in messages[0]
+    assert "planner add_batch" in messages[1]
+    assert all("time@" in message for message in messages)
+
+
+def test_rpl505_sanitize_annotation_is_honoured(tmp_path):
+    """The daemon.py pattern: the resolved deadline budget is clock-
+    derived on purpose, sanitized exactly once at the line where it is
+    resolved."""
+    write_module(
+        tmp_path,
+        "src/repro/service/state.py",
+        SERVICE_STATE_TEMPLATE.format(annotation="  # reprolint: sanitize"),
+    )
+    result = lint_paths([tmp_path], select=["RPL505"], analyze=True)
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# RPL102 service-scope leg
+# ----------------------------------------------------------------------
+
+SERVICE_CLOCK_TEMPLATE = """
+    import time{annotation}
+
+    def now():
+        return time.monotonic(){annotation}
+    """
+
+
+def test_rpl102_service_scope_flags_clock_access(tmp_path):
+    write_module(
+        tmp_path,
+        "src/repro/service/clock.py",
+        SERVICE_CLOCK_TEMPLATE.format(annotation=""),
+    )
+    result = lint_paths([tmp_path], select=["RPL102"])
+    assert rule_ids(result) == {"RPL102"}
+    assert len(result.violations) == 2
+    assert all("service/" in v.message for v in result.violations)
+    # The message routes the author to the fix, not to deletion.
+    assert any("annotated" in v.message for v in result.violations)
+
+
+def test_rpl102_service_scope_ignore_is_honoured(tmp_path):
+    write_module(
+        tmp_path,
+        "src/repro/service/clock.py",
+        SERVICE_CLOCK_TEMPLATE.format(
+            annotation="  # reprolint: ignore[RPL102]"
+        ),
+    )
+    result = lint_paths([tmp_path], select=["RPL102"])
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+def test_rpl102_module_wide_scan_is_service_scoped(tmp_path):
+    # The same source outside service/ (and outside core/ and any
+    # solve_component body) is legitimate timing code.
+    write_module(
+        tmp_path,
+        "src/repro/devtools/clock.py",
+        SERVICE_CLOCK_TEMPLATE.format(annotation=""),
+    )
+    result = lint_paths([tmp_path], select=["RPL102"])
+    assert result.ok, "\n".join(v.render() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
 # Analysis rules stay out of plain lint runs
 # ----------------------------------------------------------------------
 

@@ -211,6 +211,30 @@ class TestPolicy:
         assert policy.backoff_seconds(3) == pytest.approx(0.9)
         assert ResiliencePolicy().backoff_seconds(5) == 0.0
 
+    def test_backoff_cap_pins_the_schedule(self):
+        capped = ResiliencePolicy(
+            backoff_base_seconds=0.1,
+            backoff_growth=3.0,
+            backoff_max_seconds=0.25,
+        )
+        # Pinned: growth applies until the cap, then the cap holds flat.
+        assert [capped.backoff_seconds(n) for n in (1, 2, 3, 4)] == [
+            pytest.approx(0.1),
+            pytest.approx(0.25),
+            pytest.approx(0.25),
+            pytest.approx(0.25),
+        ]
+        # Default (None) preserves the uncapped geometric schedule.
+        uncapped = ResiliencePolicy(backoff_base_seconds=0.1, backoff_growth=3.0)
+        assert uncapped.backoff_max_seconds is None
+        assert uncapped.backoff_seconds(4) == pytest.approx(2.7)
+        with pytest.raises(SolverError):
+            ResiliencePolicy(backoff_max_seconds=-0.5)
+        zero = ResiliencePolicy(
+            backoff_base_seconds=0.1, backoff_max_seconds=0.0
+        )
+        assert zero.backoff_seconds(3) == 0.0
+
     def test_resolve_rung_rejects_unknown_name(self):
         with pytest.raises(SolverError, match="unknown fallback rung"):
             resolve_rung("nope")
@@ -421,6 +445,129 @@ class TestFallbackChain:
         outcomes, report = run_components_resilient(tasks, jobs=1, policy=policy)
         assert outcomes[0].rung == "greedy"
         assert report.failures[0].rung == "always-fails"
+
+
+# ----------------------------------------------------------------------
+# Circuit breakers layered on the chain (service/breaker.py board)
+# ----------------------------------------------------------------------
+
+
+class TestBreakerIntegration:
+    def board(self, threshold=2, probe_interval=4):
+        from repro.service.breaker import BreakerBoard
+
+        return BreakerBoard(threshold=threshold, probe_interval=probe_interval)
+
+    def test_tripped_rung_is_skipped_with_probe_schedule(self):
+        # The primary rung always faults: components 0-1 trip the
+        # breaker, 2-4 skip primary instantly (breaker-open), component
+        # 5 is the deterministic half-open probe (it faults → circuit
+        # reopens), 6-7 skip again.  Direct executor path so component
+        # indices are explicit (the engine's preprocessing would merge
+        # or prune instance-level blocks).
+        components = tiny_components(8)
+        chaos = ChaosInjector(
+            plan={(i, "greedy", 0): "fault" for i in range(8)}
+        )
+        board = self.board(threshold=2, probe_interval=4)
+        policy = ResiliencePolicy(
+            on_error="degrade",
+            fallback=("primal-dual",),
+            breakers=board,
+            chaos=chaos,
+        )
+        tasks = [
+            (i, resolve_rung("greedy"), component, None, None)
+            for i, component in enumerate(components)
+        ]
+        outcomes, report = run_components_resilient(tasks, jobs=1, policy=policy)
+        # Every component still got a real answer from the fallback.
+        assert [o.rung for o in outcomes] == ["primal-dual"] * 8
+        # Admitted primary attempts: comps 0, 1, and the probe (comp 5).
+        assert report.kind_counts["error"] == 3
+        assert report.kind_counts["breaker-open"] == 5
+        states = board.states()
+        assert states["greedy"]["state"] == "open"
+        assert states["greedy"]["trips"] == 1
+        assert states["greedy"]["probes"] == 1
+        assert states["greedy"]["skips"] == 5
+        assert states["primal-dual"]["state"] == "closed"
+
+    def test_successful_probe_closes_the_circuit(self):
+        # Primary faults only for components 0-1; the first probe
+        # (component 2, probe_interval=1) succeeds and closes the
+        # circuit, so component 3 runs primary normally again.
+        components = tiny_components(4)
+        chaos = ChaosInjector(
+            plan={(i, "greedy", 0): "fault" for i in range(2)}
+        )
+        board = self.board(threshold=2, probe_interval=1)
+        policy = ResiliencePolicy(
+            on_error="degrade",
+            fallback=("primal-dual",),
+            breakers=board,
+            chaos=chaos,
+        )
+        tasks = [
+            (i, resolve_rung("greedy"), component, None, None)
+            for i, component in enumerate(components)
+        ]
+        outcomes, report = run_components_resilient(tasks, jobs=1, policy=policy)
+        assert [o.rung for o in outcomes] == [
+            "primal-dual",
+            "primal-dual",
+            "greedy",
+            "greedy",
+        ]
+        assert report.kind_counts == {"error": 2}
+        states = board.states()
+        assert states["greedy"]["state"] == "closed"
+        assert states["greedy"]["trips"] == 1
+        assert states["greedy"]["probes"] == 1
+        assert states["greedy"]["successes"] == 2
+
+    def test_breaker_exhaustion_degrades_not_hangs(self):
+        # Circuit open and no fallback rung left: the chain synthesizes
+        # breaker-open failures until exhausted, then degrades — it
+        # never blocks waiting for the rung to heal.
+        components = tiny_components(3)
+        chaos = ChaosInjector(plan={(0, "greedy", 0): "fault"})
+        board = self.board(threshold=1, probe_interval=100)
+        policy = ResiliencePolicy(
+            on_error="degrade", breakers=board, chaos=chaos
+        )
+        tasks = [
+            (i, resolve_rung("greedy"), component, None, None)
+            for i, component in enumerate(components)
+        ]
+        outcomes, report = run_components_resilient(tasks, jobs=1, policy=policy)
+        # Component 0 tripped the breaker; 1 and 2 were skipped outright.
+        assert [o.rung for o in outcomes] == ["degraded"] * 3
+        assert report.degraded == [0, 1, 2]
+        assert report.kind_counts == {"error": 1, "breaker-open": 2}
+        assert board.states()["greedy"]["state"] == "open"
+
+    def test_breaker_board_identical_across_jobs(self):
+        # The same workload drives the breaker through the same final
+        # state sequentially and pooled (outcome identity is asserted
+        # by the determinism suite; here we pin the health state).
+        def drive(jobs):
+            instance = multi_component_instance(24, blocks=6)
+            chaos = ChaosInjector(
+                plan={(i, PRIMARY, 0): "fault" for i in range(6)}
+            )
+            board = self.board(threshold=2, probe_interval=4)
+            policy = ResiliencePolicy(
+                on_error="degrade",
+                fallback=("greedy",),
+                breakers=board,
+                chaos=chaos,
+            )
+            result = GeneralSolver(resilience=policy, jobs=jobs).solve(instance)
+            return result.solution.classifiers, result.cost
+
+        sequential = drive(1)
+        assert sequential == drive(1)
 
 
 # ----------------------------------------------------------------------
